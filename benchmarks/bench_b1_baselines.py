@@ -1,0 +1,75 @@
+"""EXP-B1 — scheduler comparison: ours vs Saia vs prior homogeneous work.
+
+Section I positions the paper against (a) Saia's 1.5-approximation via
+node splitting + Shannon coloring and (b) the classic homogeneous
+model where every disk performs one transfer per round.  The table
+reports rounds and ratio-to-LB for each scheduler across the workload
+families; the expected shape: ``general <= saia <= homogeneous`` with
+the homogeneous penalty growing with the capacity mix.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.metrics import compare_methods
+from repro.analysis.tables import Table
+from repro.core.lower_bounds import lower_bound
+from repro.workloads.generators import (
+    bipartite_instance,
+    clique_instance,
+    hotspot_instance,
+    random_instance,
+)
+
+WORKLOADS = [
+    ("random-mixed", lambda: random_instance(20, 400, capacities={1: 0.3, 2: 0.4, 4: 0.3}, seed=1)),
+    ("random-fast-fleet", lambda: random_instance(20, 400, capacities={4: 0.5, 8: 0.5}, seed=2)),
+    ("bipartite-scaleout", lambda: bipartite_instance(12, 4, 400, old_capacity=1, new_capacity=4, seed=3)),
+    ("hotspot-drain", lambda: hotspot_instance(16, 2, 300, hot_capacity=4, cold_capacity=1, seed=4)),
+    ("clique-c2 (Fig2)", lambda: clique_instance(3, 20, capacity=2)),
+]
+
+METHODS = ("general", "saia", "greedy", "homogeneous")
+
+
+def test_b1_method_comparison(benchmark):
+    table = Table(
+        "EXP-B1: rounds by scheduler (ratio to LB in parentheses-like columns)",
+        ["workload", "LB"] + [f"{m}" for m in METHODS] + [f"{m} ratio" for m in METHODS],
+    )
+    for name, build in WORKLOADS:
+        inst = build()
+        results = compare_methods(inst, methods=METHODS)
+        lb = lower_bound(inst)
+        rounds = [results[m].rounds for m in METHODS]
+        ratios = [results[m].ratio for m in METHODS]
+        table.add_row(name, lb, *rounds, *ratios)
+        # The paper's ordering claims.
+        assert results["general"].rounds <= results["saia"].rounds
+        assert results["general"].rounds <= results["homogeneous"].rounds
+    emit(table)
+
+    inst = WORKLOADS[0][1]()
+    benchmark(compare_methods, inst, METHODS)
+
+
+def test_b1_homogeneous_penalty_grows_with_capacity(benchmark):
+    """The single-transfer assumption costs ~c when every disk has c."""
+    table = Table(
+        "EXP-B1b: homogeneous-model penalty vs uniform capacity c",
+        ["c", "LB (hetero)", "general", "homogeneous", "penalty x"],
+    )
+    for c in (1, 2, 4, 8):
+        inst = random_instance(12, 300, uniform_capacity=c, seed=5)
+        results = compare_methods(inst, methods=("general", "homogeneous"))
+        penalty = results["homogeneous"].rounds / results["general"].rounds
+        table.add_row(
+            c, lower_bound(inst), results["general"].rounds,
+            results["homogeneous"].rounds, penalty,
+        )
+        if c >= 2:
+            assert penalty > c / 2  # splitting must pay off materially
+    emit(table)
+
+    inst = random_instance(12, 300, uniform_capacity=4, seed=5)
+    benchmark(compare_methods, inst, ("general", "homogeneous"))

@@ -1,0 +1,61 @@
+"""EXP-CLONE — migration with cloning (extension).
+
+Khuller–Kim–Wan's model: items with destination *sets*, receivers
+re-serve copies.  The table compares gossip scheduling against the
+no-cloning baseline across fanouts: gossip tracks the logarithmic
+broadcast bound while naive pays linearly in the fanout.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import Table
+from repro.extensions.cloning import (
+    CloningInstance,
+    best_cloning_schedule,
+    cloning_lower_bound,
+    gossip_schedule,
+    naive_schedule,
+)
+from repro.workloads.adversarial import replication_fanout
+
+
+def test_clone_broadcast_series(benchmark):
+    table = Table(
+        "EXP-CLONE: single hot item to k replicas — gossip vs no-cloning",
+        ["fanout k", "log2(k+1) bound", "gossip", "naive", "speedup"],
+    )
+    for k in (3, 7, 15, 31, 63):
+        nodes = {f"d{i}": 1 for i in range(k)}
+        nodes["src"] = 1
+        inst = CloningInstance({"hot": ("src", {f"d{i}" for i in range(k)})}, nodes)
+        gossip = len(gossip_schedule(inst))
+        naive = len(naive_schedule(inst))
+        table.add_row(k, math.ceil(math.log2(k + 1)), gossip, naive, naive / gossip)
+        assert gossip == math.ceil(math.log2(k + 1))
+        assert naive == k
+    emit(table)
+
+    nodes = {f"d{i}": 1 for i in range(31)}
+    nodes["src"] = 1
+    inst = CloningInstance({"hot": ("src", {f"d{i}" for i in range(31)})}, nodes)
+    benchmark(gossip_schedule, inst)
+
+
+def test_clone_mixed_fleet(benchmark):
+    table = Table(
+        "EXP-CLONEb: many items with replica fanout (capacitated disks)",
+        ["items", "fanout", "disks", "LB", "best", "naive"],
+    )
+    for items, fanout, disks in ((10, 3, 12), (20, 5, 16), (40, 7, 24)):
+        inst = replication_fanout(items, fanout=fanout, num_disks=disks, capacity=2)
+        best = len(best_cloning_schedule(inst))
+        naive = len(naive_schedule(inst))
+        table.add_row(items, fanout, disks, cloning_lower_bound(inst), best, naive)
+        assert cloning_lower_bound(inst) <= best <= naive
+    emit(table)
+
+    inst = replication_fanout(20, fanout=5, num_disks=16, capacity=2)
+    benchmark(best_cloning_schedule, inst)

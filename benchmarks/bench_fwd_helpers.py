@@ -1,0 +1,57 @@
+"""EXP-FWD — forwarding beats the density bound (extension).
+
+Direct migration cannot beat ``Γ'``; with idle helpers, forwarding can
+drive the makespan down toward ``Δ'`` (Coffman et al.; Sanders &
+Solis-Oba's "helpers").  The table sweeps odd cycles — where the gap
+``Γ'/Δ' → cycle/(cycle-1)`` is extremal — with increasing helper
+counts and reports direct vs forwarded rounds against both bounds.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import Table
+from repro.core.lower_bounds import lower_bound
+from repro.extensions.indirect import forwarding_schedule
+from repro.workloads.adversarial import odd_cycle_with_helpers, shannon_triangle
+
+
+def test_fwd_helper_sweep(benchmark):
+    table = Table(
+        "EXP-FWD: forwarding through helpers on Γ'-bound odd cycles",
+        ["cycle", "mult", "helpers", "Δ'", "Γ'-LB", "direct", "forwarded", "improved"],
+    )
+    for cycle, mult, helpers in (
+        (3, 1, 1),
+        (3, 4, 3),
+        (5, 2, 5),
+        (7, 3, 7),
+    ):
+        inst = odd_cycle_with_helpers(cycle, mult, helpers)
+        result = forwarding_schedule(inst)
+        table.add_row(
+            cycle, mult, helpers, result.lb1, lower_bound(inst),
+            result.direct_rounds, result.num_rounds, str(result.improved),
+        )
+        assert result.num_rounds <= result.direct_rounds
+    emit(table)
+
+    inst = odd_cycle_with_helpers(5, 2, 5)
+    benchmark(forwarding_schedule, inst)
+
+
+def test_fwd_no_helpers_no_magic(benchmark):
+    """Without idle capacity forwarding cannot beat the density bound."""
+    table = Table(
+        "EXP-FWDb: Shannon triangles without helpers (no idle capacity)",
+        ["bundle", "Γ'-LB", "direct", "forwarded"],
+    )
+    for bundle in (2, 4, 8):
+        inst = shannon_triangle(bundle)
+        result = forwarding_schedule(inst)
+        rounds = result.num_rounds if result.rounds else result.direct_rounds
+        table.add_row(bundle, lower_bound(inst), result.direct_rounds, rounds)
+        assert rounds >= lower_bound(inst)
+    emit(table)
+
+    benchmark(forwarding_schedule, shannon_triangle(4))

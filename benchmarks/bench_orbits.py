@@ -1,0 +1,100 @@
+"""EXP-ORBIT — watching Section V's edge orbits in both regimes.
+
+The reference orbit machinery (Definitions 5.5–5.7) is exercised on
+partial colorings left behind by first-fit:
+
+* **starved palette** (``q < OPT``, dense multigraphs): growth quickly
+  dead-ends in Δ-/Γ-witnesses — exactly Lemma 5.4's promise that a
+  too-small palette betrays itself structurally (the algorithm then
+  adds a color, justified by the witness);
+* **adequate palette** (``q = OPT``, regular bipartite): the bad-edge
+  orbits resolve — a recoloring exists and the machinery (via the flip
+  engine) finds it, so no new color is spent.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.bench_fig4_abpaths import regular_bipartite_instance
+from benchmarks.conftest import emit
+from repro.analysis.tables import Table
+from repro.core.edge_orbits import explore_orbits, seed_orbits
+from repro.core.recolor import ColoringState
+from repro.workloads.generators import random_instance
+
+
+def first_fit(state, seed):
+    order = state.graph.edge_ids()
+    random.Random(seed).shuffle(order)
+    for eid in order:
+        u, v = state.graph.endpoints(eid)
+        c = state.common_missing_color(u, v)
+        if c is not None:
+            state.assign(eid, c)
+    return state
+
+
+def starved_state(num_disks: int, num_items: int, palette_squeeze: int, seed: int):
+    """First-fit with a squeezed palette; leftovers become bad edges."""
+    inst = random_instance(num_disks, num_items, uniform_capacity=1, seed=seed)
+    q = max(1, inst.delta_prime() - palette_squeeze)
+    state = ColoringState(inst.graph, inst.capacities, q, seed=seed)
+    return inst, first_fit(state, seed)
+
+
+def adequate_state(n: int, d: int, seed: int):
+    """Regular bipartite at its optimal palette (König: q = d works)."""
+    inst = regular_bipartite_instance(n, d, seed)
+    state = ColoringState(inst.graph, inst.capacities, d, seed=seed)
+    return inst, first_fit(state, seed)
+
+
+def test_orbit_growth_dynamics(benchmark):
+    table = Table(
+        "EXP-ORBIT: edge orbits under starved vs adequate palettes",
+        ["regime", "graph", "orbits", "max size", "witnesses", "resolved"],
+    )
+    total_witnesses = 0
+    for n, m, squeeze in ((3, 60, 3), (4, 150, 4), (5, 200, 5)):
+        _inst, state = starved_state(n, m, squeeze, seed=n * 7)
+        traces = explore_orbits(state)
+        state.validate()
+        witnesses = sum(1 for t in traces if "witness" in t.outcome)
+        total_witnesses += witnesses
+        table.add_row(
+            f"starved (q=Δ'-{squeeze})", f"{n}d/{m}e", len(traces),
+            max((t.final_size for t in traces), default=0),
+            witnesses, sum(1 for t in traces if t.resolved),
+        )
+    total_resolved = 0
+    for n, d in ((12, 9), (16, 12), (24, 16)):
+        _inst, state = adequate_state(n, d, seed=n // 3)
+        traces = explore_orbits(state)
+        state.validate()
+        resolved = sum(1 for t in traces if t.resolved)
+        total_resolved += resolved
+        table.add_row(
+            "adequate (q=OPT)", f"{2 * n}d/{n * d}e", len(traces),
+            max((t.final_size for t in traces), default=0),
+            sum(1 for t in traces if "witness" in t.outcome), resolved,
+        )
+    emit(table)
+    assert total_witnesses > 0, "starved palettes must produce witnesses"
+
+    def kernel():
+        _i, fresh = starved_state(5, 200, 5, seed=35)
+        return explore_orbits(fresh)
+
+    benchmark(kernel)
+
+
+def test_orbit_seeds_match_bad_edges(benchmark):
+    _inst, state = starved_state(4, 150, 4, seed=28)
+    from repro.core.orbits import bad_edge_groups
+
+    seeds = seed_orbits(state)
+    groups = bad_edge_groups(state)
+    assert len(seeds) == len(groups)
+
+    benchmark(seed_orbits, state)

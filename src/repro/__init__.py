@@ -1,0 +1,47 @@
+"""repro — Data Migration in Heterogeneous Storage Systems (ICDCS 2011).
+
+A faithful reproduction of Kari, Kim & Russell's heterogeneous data
+migration scheduler: given a transfer multigraph (disks = nodes, data
+items to move = edges) and per-disk transfer constraints ``c_v``, build
+a minimum-round migration schedule.
+
+Quickstart::
+
+    from repro import MigrationInstance, plan_migration
+
+    moves = [("a", "b"), ("a", "b"), ("b", "c"), ("c", "a")]
+    inst = MigrationInstance.from_moves(moves, {"a": 2, "b": 2, "c": 2})
+    schedule = plan_migration(inst)          # optimal: all c_v even
+    print(schedule.num_rounds, schedule.rounds)
+
+Package map:
+
+* :mod:`repro.core` — the scheduling algorithms (Sections III–V).
+* :mod:`repro.graphs` — multigraph, Euler, flow, matching, coloring
+  substrates.
+* :mod:`repro.cluster` — a storage-cluster simulator that executes
+  schedules with a bandwidth-splitting time model.
+* :mod:`repro.workloads` — transfer-graph generators (load-balancing
+  deltas, disk add/remove, synthetic sweeps).
+* :mod:`repro.analysis` — metrics and table rendering for the
+  benchmark harness.
+"""
+
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.core.solver import plan_migration
+from repro.core.lower_bounds import lb1, lb2, lower_bound
+from repro.graphs.multigraph import Multigraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MigrationInstance",
+    "MigrationSchedule",
+    "Multigraph",
+    "plan_migration",
+    "lower_bound",
+    "lb1",
+    "lb2",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Metrics and reporting for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    ScheduleQuality,
+    compare_methods,
+    schedule_quality,
+)
+from repro.analysis.tables import Table
+
+__all__ = ["ScheduleQuality", "schedule_quality", "compare_methods", "Table"]

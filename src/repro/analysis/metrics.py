@@ -1,0 +1,95 @@
+"""Schedule-quality metrics.
+
+Everything the experiment tables report is computed here:
+rounds, the certified lower bound, the ratio between them (an upper
+bound on the true approximation ratio, since ``LB <= OPT``), and the
+Theorem 5.1 budget ``LB + 2⌈√LB⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.lower_bounds import lb1, lower_bound
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.core.solver import plan_migration
+
+
+@dataclass(frozen=True)
+class ScheduleQuality:
+    """Quality summary of one schedule on one instance."""
+
+    method: str
+    rounds: int
+    lower_bound: int
+    delta_prime: int
+
+    @property
+    def ratio(self) -> float:
+        """Rounds over the certified lower bound.
+
+        Since ``LB <= OPT``, this is an upper bound on the schedule's
+        true approximation ratio.
+        """
+        return self.rounds / self.lower_bound if self.lower_bound else 1.0
+
+    @property
+    def excess(self) -> int:
+        """Rounds above the lower bound."""
+        return self.rounds - self.lower_bound
+
+    @property
+    def theorem_budget(self) -> int:
+        """``LB + 2⌈√LB⌉ + 2`` — the Theorem 5.1 yardstick."""
+        return self.lower_bound + 2 * math.isqrt(max(self.lower_bound, 0)) + 2
+
+    @property
+    def within_theorem_budget(self) -> bool:
+        return self.rounds <= self.theorem_budget
+
+
+def schedule_quality(
+    instance: MigrationInstance,
+    schedule: MigrationSchedule,
+    precomputed_lb: Optional[int] = None,
+) -> ScheduleQuality:
+    """Compute the quality record for a (validated) schedule."""
+    lb = precomputed_lb if precomputed_lb is not None else lower_bound(instance)
+    return ScheduleQuality(
+        method=schedule.method,
+        rounds=schedule.num_rounds,
+        lower_bound=lb,
+        delta_prime=lb1(instance),
+    )
+
+
+def compare_methods(
+    instance: MigrationInstance,
+    methods: Sequence[str] = ("general", "saia", "greedy", "homogeneous"),
+    seed: int = 0,
+) -> Dict[str, ScheduleQuality]:
+    """Run several schedulers on one instance; return quality per method."""
+    lb = lower_bound(instance)
+    out: Dict[str, ScheduleQuality] = {}
+    for method in methods:
+        schedule = plan_migration(instance, method=method, seed=seed)
+        out[method] = schedule_quality(instance, schedule, precomputed_lb=lb)
+    return out
+
+
+def summarize_ratios(qualities: Iterable[ScheduleQuality]) -> Dict[str, float]:
+    """Mean / max / p95 of ratio-to-LB over a batch of runs."""
+    ratios = [q.ratio for q in qualities]
+    if not ratios:
+        return {"mean": 1.0, "max": 1.0, "p95": 1.0}
+    ratios.sort()
+    p95_index = min(len(ratios) - 1, math.ceil(0.95 * len(ratios)) - 1)
+    return {
+        "mean": statistics.fmean(ratios),
+        "max": ratios[-1],
+        "p95": ratios[p95_index],
+    }

@@ -1,0 +1,207 @@
+"""Command-line interface: ``repro-migrate``.
+
+Subcommands:
+
+* ``schedule`` — read moves from a CSV-ish file (``src,dst`` per line)
+  plus capacities, or a JSON instance (``--json``), print the schedule.
+* ``demo`` — run a named scenario end-to-end through the simulator.
+* ``compare`` — run all schedulers on a generated workload and print
+  the comparison table.
+* ``generate`` — write a generated workload to a JSON instance file
+  for archiving/replay.
+* ``gantt`` — schedule a JSON instance and render the per-disk round
+  Gantt chart.
+* ``fuzz`` — cross-validate all schedulers on randomized instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import compare_methods
+from repro.analysis.tables import Table
+from repro.cluster.engine import MigrationEngine
+from repro.core.problem import MigrationInstance
+from repro.core.solver import METHODS, plan_migration
+from repro.workloads.generators import random_instance
+from repro.workloads.scenarios import (
+    decommission_scenario,
+    scale_out_scenario,
+    sensor_harvest_scenario,
+    vod_rebalance_scenario,
+)
+
+_SCENARIOS = {
+    "vod": vod_rebalance_scenario,
+    "scale-out": scale_out_scenario,
+    "decommission": decommission_scenario,
+    "sensor-harvest": sensor_harvest_scenario,
+}
+
+
+def _parse_moves_file(path: str) -> Tuple[List[Tuple[str, str]], Dict[str, int]]:
+    """Parse a moves file.
+
+    Lines are either ``src,dst`` (one item to move) or
+    ``cap,<disk>,<c_v>`` (a transfer constraint); ``#`` starts a
+    comment.  Disks without an explicit constraint default to 1.
+    """
+    moves: List[Tuple[str, str]] = []
+    caps: Dict[str, int] = {}
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = [p.strip() for p in line.split(",")]
+            if parts[0] == "cap" and len(parts) == 3:
+                caps[parts[1]] = int(parts[2])
+            elif len(parts) == 2:
+                moves.append((parts[0], parts[1]))
+            else:
+                raise ValueError(f"{path}:{lineno}: cannot parse {raw.rstrip()!r}")
+    return moves, caps
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.workloads.io import load_instance
+
+        instance = load_instance(args.moves_file)
+    else:
+        moves, caps = _parse_moves_file(args.moves_file)
+        disks = {d for pair in moves for d in pair}
+        capacities = {d: caps.get(d, args.default_capacity) for d in disks}
+        instance = MigrationInstance.from_moves(moves, capacities)
+    schedule = plan_migration(instance, method=args.method)
+    print(f"# method={schedule.method} rounds={schedule.num_rounds}")
+    graph = instance.graph
+    for i, rnd in enumerate(schedule.rounds):
+        printable = ", ".join(
+            "->".join(map(str, graph.endpoints(eid))) for eid in sorted(rnd)
+        )
+        print(f"round {i}: {printable}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = _SCENARIOS[args.scenario](seed=args.seed)
+    instance = scenario.instance
+    schedule = plan_migration(instance, method=args.method)
+    engine = MigrationEngine(scenario.cluster, time_model=args.time_model)
+    report = engine.execute(scenario.context, schedule)
+    print(
+        f"scenario={scenario.name} disks={instance.num_disks} "
+        f"moves={instance.num_items} method={schedule.method}"
+    )
+    print(
+        f"rounds={schedule.num_rounds} simulated_time={report.total_time:.2f} "
+        f"migrated={len(report.migrated_items)}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = random_instance(
+        num_disks=args.disks, num_items=args.items, seed=args.seed
+    )
+    results = compare_methods(instance, seed=args.seed)
+    table = Table(
+        f"scheduler comparison (disks={args.disks}, items={args.items})",
+        ["method", "rounds", "LB", "ratio"],
+    )
+    for method, quality in sorted(results.items(), key=lambda kv: kv[1].rounds):
+        table.add_row(method, quality.rounds, quality.lower_bound, quality.ratio)
+    print(table.render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.io import save_instance
+
+    instance = random_instance(num_disks=args.disks, num_items=args.items, seed=args.seed)
+    save_instance(instance, args.output)
+    print(f"wrote {instance.num_items} moves over {instance.num_disks} disks to {args.output}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.analysis.gantt import render_gantt, utilization
+    from repro.workloads.io import load_instance
+
+    instance = load_instance(args.instance)
+    schedule = plan_migration(instance, method=args.method)
+    print(f"# method={schedule.method} rounds={schedule.num_rounds}")
+    print(render_gantt(instance, schedule, max_rounds=args.max_rounds))
+    util = utilization(instance, schedule)
+    busy = [u for u in util.values() if u > 0]
+    if busy:
+        print(f"\nmean busy-disk utilization: {sum(busy) / len(busy):.2f}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.analysis.crossval import main as fuzz_main
+
+    return fuzz_main(["--trials", str(args.trials), "--seed", str(args.seed)])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-migrate",
+        description="Heterogeneous data-migration scheduling (ICDCS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sched = sub.add_parser("schedule", help="schedule moves from a file")
+    p_sched.add_argument("moves_file")
+    p_sched.add_argument("--method", choices=METHODS, default="auto")
+    p_sched.add_argument("--default-capacity", type=int, default=1)
+    p_sched.add_argument(
+        "--json", action="store_true",
+        help="treat the input as a JSON instance (see `generate`)",
+    )
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_gen = sub.add_parser("generate", help="write a workload instance to JSON")
+    p_gen.add_argument("output")
+    p_gen.add_argument("--disks", type=int, default=20)
+    p_gen.add_argument("--items", type=int, default=200)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_demo = sub.add_parser("demo", help="run a named scenario in the simulator")
+    p_demo.add_argument("scenario", choices=sorted(_SCENARIOS))
+    p_demo.add_argument("--method", choices=METHODS, default="auto")
+    p_demo.add_argument("--time-model", choices=("unit", "bandwidth_split"), default="bandwidth_split")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_gantt = sub.add_parser("gantt", help="render a schedule Gantt chart")
+    p_gantt.add_argument("instance", help="JSON instance (see `generate`)")
+    p_gantt.add_argument("--method", choices=METHODS, default="auto")
+    p_gantt.add_argument("--max-rounds", type=int, default=60)
+    p_gantt.set_defaults(func=_cmd_gantt)
+
+    p_fuzz = sub.add_parser("fuzz", help="cross-validate schedulers on random instances")
+    p_fuzz.add_argument("--trials", type=int, default=100)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_cmp = sub.add_parser("compare", help="compare schedulers on a random workload")
+    p_cmp.add_argument("--disks", type=int, default=20)
+    p_cmp.add_argument("--items", type=int, default=200)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""A storage-cluster simulator: the systems substrate.
+
+The paper's model abstracts a storage cluster as a transfer multigraph;
+this subpackage supplies the concrete system around that abstraction so
+the library is usable end-to-end:
+
+* :mod:`repro.cluster.disk` / :mod:`repro.cluster.item` — devices with
+  bandwidth, space and transfer constraints; unit-size data items.
+* :mod:`repro.cluster.layout` — item→disk placements, load metrics and
+  demand-aware target-layout computation.
+* :mod:`repro.cluster.system` — the cluster: disk add/remove, layout
+  diffing into :class:`~repro.core.problem.MigrationInstance`.
+* :mod:`repro.cluster.engine` — executes a migration schedule round by
+  round under a bandwidth-splitting time model (validating the paper's
+  Figure 2 arithmetic), with failure injection and replanning.
+* :mod:`repro.cluster.events` / :mod:`repro.cluster.traces` — event log
+  and serializable execution traces.
+"""
+
+from repro.cluster.disk import Disk
+from repro.cluster.item import DataItem
+from repro.cluster.layout import Layout
+from repro.cluster.system import StorageCluster
+from repro.cluster.engine import MigrationEngine, ExecutionReport
+
+__all__ = [
+    "Disk",
+    "DataItem",
+    "Layout",
+    "StorageCluster",
+    "MigrationEngine",
+    "ExecutionReport",
+]

@@ -1,0 +1,89 @@
+"""Serializable execution traces.
+
+A trace is the flat, replayable record of a migration execution: one
+row per item transfer with timing and endpoints, plus round metadata.
+Traces serialize to plain JSON so experiments can be archived and
+diffed; :func:`replay_trace` re-applies a trace to a fresh layout and
+is used by tests to confirm engine/trace agreement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.cluster.engine import ExecutionReport
+from repro.cluster.events import ItemMigrated, RoundCompleted
+from repro.cluster.layout import Layout
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One executed transfer."""
+
+    time: float
+    duration: float
+    item_id: Hashable
+    source: Hashable
+    target: Hashable
+
+
+@dataclass
+class MigrationTrace:
+    """A completed migration's transfer history."""
+
+    transfers: List[TransferRecord]
+    round_durations: List[float]
+    total_time: float
+
+    @classmethod
+    def from_report(cls, report: ExecutionReport) -> "MigrationTrace":
+        transfers = [
+            TransferRecord(
+                time=e.time,
+                duration=e.duration,
+                item_id=e.item_id,
+                source=e.source,
+                target=e.target,
+            )
+            for e in report.log.of_type(ItemMigrated)
+        ]
+        return cls(
+            transfers=transfers,
+            round_durations=list(report.round_durations),
+            total_time=report.total_time,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "total_time": self.total_time,
+                "round_durations": self.round_durations,
+                "transfers": [asdict(t) for t in self.transfers],
+            },
+            default=str,
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "MigrationTrace":
+        data = json.loads(payload)
+        return cls(
+            transfers=[TransferRecord(**t) for t in data["transfers"]],
+            round_durations=list(data["round_durations"]),
+            total_time=float(data["total_time"]),
+        )
+
+
+def replay_trace(trace: MigrationTrace, initial: Layout) -> Layout:
+    """Apply a trace's transfers (in time order) to a layout copy."""
+    layout = initial.copy()
+    for record in sorted(trace.transfers, key=lambda t: t.time):
+        if record.item_id in layout and layout.disk_of(record.item_id) != record.source:
+            raise ValueError(
+                f"trace inconsistent: item {record.item_id!r} expected on "
+                f"{record.source!r}, found {layout.disk_of(record.item_id)!r}"
+            )
+        layout.place(record.item_id, record.target)
+    return layout

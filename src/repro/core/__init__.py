@@ -1,0 +1,31 @@
+"""Core algorithms: the paper's contribution.
+
+* :mod:`repro.core.problem` / :mod:`repro.core.schedule` — the
+  heterogeneous data-migration problem and its solutions.
+* :mod:`repro.core.lower_bounds` — the two lower bounds of Section III.
+* :mod:`repro.core.even_optimal` — the optimal scheduler for even
+  transfer constraints (Section IV).
+* :mod:`repro.core.general` — the ``(1 + o(1))``-approximation for
+  arbitrary constraints (Section V), with orbit machinery in
+  :mod:`repro.core.orbits` and the capacitated recoloring engine in
+  :mod:`repro.core.recolor`.
+* :mod:`repro.core.baselines` — Saia's 1.5-approximation, the
+  homogeneous (``c_v = 1``) scheduler and greedy first-fit.
+* :mod:`repro.core.exact` — brute-force optimum for tiny instances.
+* :mod:`repro.core.solver` — the public entry point
+  :func:`~repro.core.solver.plan_migration`.
+"""
+
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.core.lower_bounds import lower_bound, lb1, lb2
+from repro.core.solver import plan_migration
+
+__all__ = [
+    "MigrationInstance",
+    "MigrationSchedule",
+    "plan_migration",
+    "lower_bound",
+    "lb1",
+    "lb2",
+]

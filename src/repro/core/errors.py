@@ -1,0 +1,17 @@
+"""Exception types shared across the core algorithms."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """The migration instance is malformed (e.g. ``c_v < 1``)."""
+
+
+class ScheduleValidationError(ReproError, AssertionError):
+    """A produced schedule violates the transfer constraints."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An algorithm could not produce a schedule it guarantees."""

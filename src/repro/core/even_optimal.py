@@ -1,0 +1,116 @@
+"""Optimal migration scheduling for even transfer constraints.
+
+Section IV of the paper: when every ``c_v`` is even, a schedule with
+exactly ``Δ' = max_v ceil(d_v / c_v)`` rounds — matching lower bound
+LB1, hence optimal — is computable in polynomial time:
+
+1. **Augment** (generalized Petersen argument): add self-loops, then
+   pair leftover odd-degree nodes with dummy edges, so every node's
+   degree becomes exactly ``c_v · Δ'`` (an even number).
+2. **Euler cycle**: all degrees even, so an Euler circuit exists per
+   component; orient edges along it.  Every node gets ``c_v·Δ'/2``
+   outgoing and ``c_v·Δ'/2`` incoming edges.
+3. **Bipartite graph H**: split ``v`` into ``v_out``/``v_in``; an edge
+   oriented ``u -> v`` becomes ``(u_out, v_in)``.
+4. **Peel matchings** (Figure 3 / Lemmas 4.1–4.2): repeatedly extract a
+   subgraph matching each ``v_out``/``v_in`` exactly ``c_v/2`` times
+   via max-flow; feasibility is certified by the fractional flow
+   ``1/(Δ'-i)`` per remaining edge, and integrality makes it integral.
+5. **Schedule**: each extracted matching, minus augmentation edges, is
+   one round; a node sees ``c_v/2 + c_v/2 = c_v`` edge-ends per round
+   (Lemma 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import InvalidInstanceError, SolverError
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.graphs.euler import euler_orientation
+from repro.graphs.matching import InfeasibleMatchingError, degree_constrained_subgraph
+from repro.graphs.multigraph import EdgeId, Multigraph, Node
+
+
+def even_optimal_schedule(instance: MigrationInstance) -> MigrationSchedule:
+    """Compute an optimal (``Δ'``-round) schedule; all ``c_v`` even.
+
+    Raises:
+        InvalidInstanceError: if some transfer constraint is odd.
+        SolverError: if an internal feasibility invariant breaks
+            (should never happen; kept as a loud guard).
+    """
+    if not instance.all_even():
+        odd = [v for v, c in instance.capacities.items() if c % 2 == 1]
+        raise InvalidInstanceError(
+            f"even-capacity algorithm requires even c_v; odd at {odd[:5]}"
+        )
+    if instance.num_items == 0:
+        return MigrationSchedule([], method="even_optimal")
+
+    delta_prime = instance.delta_prime()
+    work, real_edges = _augment_to_regular(instance, delta_prime)
+    orientation = euler_orientation(work)
+
+    # Bipartite H: one edge (u_out, v_in) per oriented edge.
+    bip_edges: List[Tuple[Tuple[str, Node], Tuple[str, Node]]] = []
+    bip_eids: List[EdgeId] = []
+    for eid, (tail, head) in orientation.items():
+        bip_edges.append((("out", tail), ("in", head)))
+        bip_eids.append(eid)
+
+    left_quota = {("out", v): instance.capacity(v) // 2 for v in work.nodes}
+    right_quota = {("in", v): instance.capacity(v) // 2 for v in work.nodes}
+
+    remaining = list(range(len(bip_edges)))
+    rounds: List[List[EdgeId]] = []
+    for step in range(delta_prime):
+        sub = [bip_edges[i] for i in remaining]
+        try:
+            picked = degree_constrained_subgraph(sub, left_quota, right_quota)
+        except InfeasibleMatchingError as exc:
+            raise SolverError(
+                f"matching peel {step}/{delta_prime} infeasible: {exc}"
+            ) from exc
+        picked_global = {remaining[i] for i in picked}
+        rounds.append(
+            [bip_eids[i] for i in picked_global if bip_eids[i] in real_edges]
+        )
+        remaining = [i for i in remaining if i not in picked_global]
+    if remaining:
+        raise SolverError(f"{len(remaining)} augmented edges left after Δ' peels")
+
+    schedule = MigrationSchedule(rounds, method="even_optimal")
+    return schedule
+
+
+def _augment_to_regular(
+    instance: MigrationInstance, delta_prime: int
+) -> Tuple[Multigraph, set]:
+    """Step 1: make ``deg(v) = c_v · Δ'`` for every node.
+
+    Returns the augmented graph and the set of original edge ids.
+    ``c_v·Δ'`` is even (``c_v`` even), and self-loops change degree by
+    2, so after looping each node sits at its target or one below; the
+    one-below nodes are exactly those with odd original degree, whose
+    count is even, so they can be paired with dummy edges.
+    """
+    work = instance.graph.copy()
+    real_edges = set(work.edge_ids())
+    deficient: List[Node] = []
+    for v in work.nodes:
+        target = instance.capacity(v) * delta_prime
+        if work.degree(v) > target:
+            raise SolverError(
+                f"degree {work.degree(v)} of {v!r} exceeds c_v·Δ' = {target}"
+            )
+        while work.degree(v) <= target - 2:
+            work.add_edge(v, v)
+        if work.degree(v) == target - 1:
+            deficient.append(v)
+    if len(deficient) % 2 != 0:
+        raise SolverError("odd number of deficient nodes; parity argument violated")
+    for i in range(0, len(deficient), 2):
+        work.add_edge(deficient[i], deficient[i + 1])
+    return work, real_edges

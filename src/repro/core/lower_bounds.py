@@ -1,0 +1,151 @@
+"""The two lower bounds of Section III.
+
+* ``LB1 = Δ' = max_v ceil(d_v / c_v)`` — a disk can move at most
+  ``c_v`` items per round.
+* ``LB2 = Γ' = max_{S ⊆ V} ceil(|E(S)| / floor(Σ_{v in S} c_v / 2))``
+  — a round schedules at most ``floor(Σ_{v∈S} c_v / 2)`` edges inside
+  ``S`` (Lemma 3.1).
+
+``LB2`` maximizes over exponentially many subsets.  :func:`lb2_exact`
+enumerates subsets and is intended for small graphs (``n <= ~16``);
+:func:`lb2` evaluates a polynomial family of candidate subsets (node
+pairs, components, capacity-aware peeling orders) and is a certified
+lower bound — every candidate's value is a true bound, we simply may
+not find the maximizing ``S``.  The benchmark ``bench_lb_bounds``
+measures how often the heuristic matches the exact value.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import Node
+
+
+def lb1(instance: MigrationInstance) -> int:
+    """``Δ' = max_v ceil(d_v / c_v)``."""
+    return instance.delta_prime()
+
+
+def subset_bound(instance: MigrationInstance, subset: Iterable[Node]) -> int:
+    """The LB2 term for one subset ``S`` (0 if S has no internal edges).
+
+    ``ceil(|E(S)| / floor(Σ c_v / 2))``; if the capacity sum inside S
+    is < 2 no transfer can happen inside S at all, so any internal edge
+    would make the instance infeasible — we return a harmless 0 for
+    empty E(S) and raise otherwise.
+    """
+    nodes = set(subset)
+    edges_inside = sum(
+        1 for _eid, u, v in instance.graph.edges() if u in nodes and v in nodes
+    )
+    if edges_inside == 0:
+        return 0
+    half_capacity = sum(instance.capacity(v) for v in nodes) // 2
+    if half_capacity == 0:
+        raise ValueError(f"subset {nodes!r} has internal edges but capacity sum < 2")
+    return math.ceil(edges_inside / half_capacity)
+
+
+def lb2_exact(instance: MigrationInstance, max_nodes: int = 16) -> int:
+    """Exact ``Γ'`` by exhaustive subset enumeration.
+
+    Raises:
+        ValueError: if the graph has more than ``max_nodes`` nodes
+            (the enumeration is exponential).
+    """
+    nodes = instance.graph.nodes
+    if len(nodes) > max_nodes:
+        raise ValueError(
+            f"exact LB2 is exponential; graph has {len(nodes)} > {max_nodes} nodes"
+        )
+    best = 0
+    for size in range(2, len(nodes) + 1):
+        for combo in itertools.combinations(nodes, size):
+            best = max(best, subset_bound(instance, combo))
+    return best
+
+
+def lb2(instance: MigrationInstance) -> int:
+    """Heuristic (but certified) ``Γ'`` over candidate subsets.
+
+    Candidates evaluated:
+
+    * every node pair with at least one edge (captures multiplicity
+      hot-spots, the common binding case);
+    * the whole node set and every connected component;
+    * every prefix of a capacity-aware peeling order per component:
+      repeatedly delete the node with the smallest
+      ``internal_degree / c_v`` ratio, evaluating the bound after each
+      deletion (generalizes the classic densest-subgraph peeling).
+    """
+    graph = instance.graph
+    best = 0
+
+    # Node pairs with edges.
+    pair_edges: Dict[Tuple[Node, Node], int] = {}
+    for _eid, u, v in graph.edges():
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        pair_edges[key] = pair_edges.get(key, 0) + 1
+    for (u, v), m in pair_edges.items():
+        half = (instance.capacity(u) + instance.capacity(v)) // 2
+        if half > 0:
+            best = max(best, math.ceil(m / half))
+
+    # Components and their peeling prefixes.
+    for component in graph.connected_components():
+        if len(component) < 2:
+            continue
+        best = max(best, subset_bound(instance, component))
+        best = max(best, _peel(instance, component))
+    return best
+
+
+def _peel(instance: MigrationInstance, component: Set[Node]) -> int:
+    """Best LB2 value along a capacity-aware peeling of ``component``."""
+    graph = instance.graph
+    nodes = set(component)
+    internal_degree: Dict[Node, int] = {v: 0 for v in nodes}
+    edges_inside = 0
+    for _eid, u, v in graph.edges():
+        if u in nodes and v in nodes:
+            internal_degree[u] += 1
+            internal_degree[v] += 1
+            edges_inside += 1
+    capacity_sum = sum(instance.capacity(v) for v in nodes)
+
+    best = 0
+    while len(nodes) >= 2 and edges_inside > 0:
+        half = capacity_sum // 2
+        if half > 0:
+            best = max(best, math.ceil(edges_inside / half))
+        # Remove the node contributing least density per unit capacity.
+        victim = min(
+            nodes, key=lambda v: (internal_degree[v] / instance.capacity(v), repr(v))
+        )
+        nodes.discard(victim)
+        capacity_sum -= instance.capacity(victim)
+        for eid in graph.incident_edges(victim):
+            other = graph.other_endpoint(eid, victim)
+            if other in nodes:
+                internal_degree[other] -= 1
+                edges_inside -= 1
+        internal_degree.pop(victim, None)
+    return best
+
+
+def lower_bound(instance: MigrationInstance, exact_small: bool = True) -> int:
+    """``max(LB1, LB2)`` — the certified lower bound used everywhere.
+
+    Args:
+        exact_small: when the graph has at most 14 nodes, compute LB2
+            exactly instead of heuristically.
+    """
+    if exact_small and instance.graph.num_nodes <= 14:
+        gamma = lb2_exact(instance, max_nodes=14)
+    else:
+        gamma = lb2(instance)
+    return max(lb1(instance), gamma)

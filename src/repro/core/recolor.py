@@ -1,0 +1,340 @@
+"""Capacitated partial edge colorings and alternating-path flips.
+
+This is the engine room of the Section V algorithm.  A *capacitated*
+coloring allows color ``c`` to appear up to ``c_v`` times at node
+``v``; the paper's Definitions 5.1–5.2 and Figure 4 are implemented
+here:
+
+* :class:`ColoringState` — a partial coloring over ``q`` colors with
+  per-node per-color counts and the *missing* / *strongly missing* /
+  *lightly missing* predicates of Definition 5.1.
+* :meth:`ColoringState.attempt_flip` — an ab-path flip (Definition
+  5.2).  Unlike the ``c_v = 1`` case, an alternating path need not be
+  simple: the walk flips edges ``a→b, b→a, …`` and may revisit nodes;
+  internal visits are capacity-neutral and only the two endpoints'
+  counts change.  The walk is validated against pending deltas and is
+  applied atomically — on failure the state is untouched.
+* :meth:`ColoringState.try_color_edge` — color one uncolored edge
+  using a common missing color directly, or after flips that free a
+  color at an endpoint (the operational content of Lemmas 5.1–5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.errors import ScheduleValidationError
+from repro.graphs.multigraph import EdgeId, Multigraph, Node
+
+# Budget of (a, b) pairs tried by try_color_edge before giving up.
+DEFAULT_PAIR_BUDGET = 32
+# Hard cap on alternating-walk length, as a multiple of |E|.
+_WALK_CAP_FACTOR = 2
+
+
+class ColoringState:
+    """A partial capacitated edge coloring with ``q`` colors.
+
+    Args:
+        graph: the transfer multigraph (self-loops allowed; a self-loop
+            counts twice toward its node's per-color count).
+        capacities: ``c_v`` per node.
+        num_colors: initial palette size ``q``; grows via
+            :meth:`add_color`.
+    """
+
+    def __init__(
+        self,
+        graph: Multigraph,
+        capacities: Mapping[Node, int],
+        num_colors: int,
+        seed: int = 0,
+    ):
+        self.graph = graph
+        self.cap = dict(capacities)
+        self.q = num_colors
+        self.color: Dict[EdgeId, int] = {}
+        # counts[v][c]: colored edge-ends of color c at v.
+        self.counts: Dict[Node, Dict[int, int]] = {v: {} for v in graph.nodes}
+        # edges_at[v][c]: the edge ids realizing counts[v][c].
+        self.edges_at: Dict[Node, Dict[int, Set[EdgeId]]] = {v: {} for v in graph.nodes}
+        self.uncolored: Set[EdgeId] = set(graph.edge_ids())
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # predicates (Definition 5.1)
+    # ------------------------------------------------------------------
+    def count(self, v: Node, c: int) -> int:
+        return self.counts[v].get(c, 0)
+
+    def is_missing(self, v: Node, c: int) -> bool:
+        """Color ``c`` is missing at ``v``: fewer than ``c_v`` uses."""
+        return self.count(v, c) < self.cap[v]
+
+    def is_strongly_missing(self, v: Node, c: int) -> bool:
+        """``E_c(v) < c_v - 1`` (at least two uses still available)."""
+        return self.count(v, c) < self.cap[v] - 1
+
+    def is_lightly_missing(self, v: Node, c: int) -> bool:
+        """``E_c(v) == c_v - 1`` (exactly one use available)."""
+        return self.count(v, c) == self.cap[v] - 1
+
+    def is_saturated(self, v: Node, c: int) -> bool:
+        return self.count(v, c) >= self.cap[v]
+
+    def missing_colors(self, v: Node) -> List[int]:
+        """All colors missing at ``v`` (ascending)."""
+        return [c for c in range(self.q) if self.is_missing(v, c)]
+
+    def strongly_missing_colors(self, v: Node) -> List[int]:
+        return [c for c in range(self.q) if self.is_strongly_missing(v, c)]
+
+    def common_missing_color(self, u: Node, v: Node) -> Optional[int]:
+        """Smallest color missing at both endpoints, or None.
+
+        For a self-loop caller (``u == v``) this demands two free slots
+        (the loop contributes twice at its node).
+        """
+        if u == v:
+            for c in range(self.q):
+                if self.is_strongly_missing(u, c):
+                    return c
+            return None
+        for c in range(self.q):
+            if self.is_missing(u, c) and self.is_missing(v, c):
+                return c
+        return None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_color(self) -> int:
+        """Grow the palette by one; returns the new color index."""
+        self.q += 1
+        return self.q - 1
+
+    def _bump(self, v: Node, c: int, delta: int, eid: EdgeId, adding: bool) -> None:
+        self.counts[v][c] = self.counts[v].get(c, 0) + delta
+        slot = self.edges_at[v].setdefault(c, set())
+        if adding:
+            slot.add(eid)
+        else:
+            slot.discard(eid)
+
+    def assign(self, eid: EdgeId, c: int) -> None:
+        """Color uncolored edge ``eid`` with ``c`` (capacity-checked)."""
+        if eid in self.color:
+            raise ScheduleValidationError(f"edge {eid} already colored")
+        u, v = self.graph.endpoints(eid)
+        need = 2 if u == v else 1
+        if self.count(u, c) + need > self.cap[u] or (
+            u != v and self.count(v, c) + 1 > self.cap[v]
+        ):
+            raise ScheduleValidationError(
+                f"assigning color {c} to edge {eid} violates a constraint"
+            )
+        self.color[eid] = c
+        self.uncolored.discard(eid)
+        if u == v:
+            self._bump(u, c, 2, eid, adding=True)
+        else:
+            self._bump(u, c, 1, eid, adding=True)
+            self._bump(v, c, 1, eid, adding=True)
+
+    def unassign(self, eid: EdgeId) -> int:
+        """Uncolor edge ``eid``; returns the color it had."""
+        c = self.color.pop(eid)
+        self.uncolored.add(eid)
+        u, v = self.graph.endpoints(eid)
+        if u == v:
+            self._bump(u, c, -2, eid, adding=False)
+        else:
+            self._bump(u, c, -1, eid, adding=False)
+            self._bump(v, c, -1, eid, adding=False)
+        return c
+
+    def _recolor(self, eid: EdgeId, new: int) -> None:
+        """Internal: change the color of a colored edge (no cap check)."""
+        old = self.color[eid]
+        u, v = self.graph.endpoints(eid)
+        if u == v:
+            self._bump(u, old, -2, eid, adding=False)
+            self._bump(u, new, 2, eid, adding=True)
+        else:
+            self._bump(u, old, -1, eid, adding=False)
+            self._bump(v, old, -1, eid, adding=False)
+            self._bump(u, new, 1, eid, adding=True)
+            self._bump(v, new, 1, eid, adding=True)
+        self.color[eid] = new
+
+    # ------------------------------------------------------------------
+    # ab-path flips (Definition 5.2 / Figure 4)
+    # ------------------------------------------------------------------
+    def attempt_flip(self, start: Node, from_color: int, to_color: int) -> bool:
+        """Flip an alternating walk starting at ``start``.
+
+        The walk flips an edge colored ``from_color`` at ``start`` to
+        ``to_color`` (so ``start`` must be missing ``to_color``), then
+        cascades: whenever the far endpoint would exceed its constraint
+        in the new color, one of its edges in that color is flipped
+        back to the old color, and so on.  Internal nodes are
+        capacity-neutral; the walk ends the first time the far endpoint
+        can absorb the new color.
+
+        Returns True and applies the flip atomically if a valid walk is
+        found; returns False leaving the state untouched.
+        """
+        if from_color == to_color:
+            return False
+        if not self.is_missing(start, to_color):
+            return False
+        slots = self.edges_at[start].get(from_color)
+        if not slots:
+            return False
+
+        cap = self.cap
+        walk_len_cap = _WALK_CAP_FACTOR * max(1, self.graph.num_edges)
+        # pending[(v, c)] = delta vs. committed counts during the walk.
+        pending: Dict[Tuple[Node, int], int] = {}
+        new_color_of: Dict[EdgeId, int] = {}
+        used: Set[EdgeId] = set()
+
+        def eff(v: Node, c: int) -> int:
+            return self.count(v, c) + pending.get((v, c), 0)
+
+        def flip_edge(eid: EdgeId, old: int, new: int, x: Node, y: Node) -> None:
+            new_color_of[eid] = new
+            used.add(eid)
+            if x == y:
+                pending[(x, old)] = pending.get((x, old), 0) - 2
+                pending[(x, new)] = pending.get((x, new), 0) + 2
+            else:
+                for node in (x, y):
+                    pending[(node, old)] = pending.get((node, old), 0) - 1
+                    pending[(node, new)] = pending.get((node, new), 0) + 1
+
+        def pick_edge(v: Node, want: int, target: int) -> Optional[EdgeId]:
+            """An unused edge at ``v`` of color ``want``, to flip to ``target``.
+
+            Prefers an edge whose far endpoint can absorb ``target``
+            immediately (ending the walk).
+            """
+            best: Optional[EdgeId] = None
+            for eid in self.edges_at[v].get(want, ()):  # committed color
+                if eid in used or new_color_of.get(eid, want) != want:
+                    continue
+                other = self.graph.other_endpoint(eid, v)
+                if other != v and eff(other, target) < cap[other]:
+                    return eid
+                if best is None:
+                    best = eid
+            return best
+
+        cur = start
+        f_from, f_to = from_color, to_color
+        steps = 0
+        while True:
+            steps += 1
+            if steps > walk_len_cap:
+                return False
+            eid = pick_edge(cur, f_from, f_to)
+            if eid is None:
+                return False
+            other = self.graph.other_endpoint(eid, cur)
+            if other == cur:
+                # A self-loop flip changes its node by ±2; only valid
+                # if the node absorbs both, which contradicts the walk
+                # invariant (cur is saturated in f_to) — skip loops by
+                # failing this walk.
+                return False
+            flip_edge(eid, f_from, f_to, cur, other)
+            if eff(other, f_to) <= cap[other]:
+                break  # `other` absorbed the new color: walk complete.
+            # `other` now exceeds f_to; continue by flipping one of its
+            # f_to edges back to f_from.
+            cur = other
+            f_from, f_to = f_to, f_from
+
+        # Validate all pending deltas (paranoia: endpoints only).
+        for (v, c), _d in pending.items():
+            if eff(v, c) > cap[v] or eff(v, c) < 0:
+                return False
+        for eid, new in new_color_of.items():
+            self._recolor(eid, new)
+        return True
+
+    def try_color_edge(
+        self, eid: EdgeId, pair_budget: int = DEFAULT_PAIR_BUDGET
+    ) -> bool:
+        """Color one uncolored edge, flipping ab-paths if necessary.
+
+        Implements the operational content of Lemmas 5.1–5.2: first
+        look for a common missing color; otherwise, for colors ``a``
+        missing at one endpoint and ``b`` missing at the other, flip an
+        ab-walk to free a shared color.  Returns True on success.
+        """
+        u, v = self.graph.endpoints(eid)
+        c = self.common_missing_color(u, v)
+        if c is not None:
+            self.assign(eid, c)
+            return True
+        if u == v:
+            return False
+
+        miss_u = self.missing_colors(u)
+        miss_v = self.missing_colors(v)
+        if not miss_u or not miss_v:
+            return False
+        pairs = [(a, b) for a in miss_u for b in miss_v if a != b]
+        self._rng.shuffle(pairs)
+        for a, b in pairs[:pair_budget]:
+            # Free color a at v by flipping an a-walk at v into b — or
+            # free b at u symmetrically; whichever works first.
+            if self.is_saturated(v, a) and self.attempt_flip(v, a, b):
+                c = self.common_missing_color(u, v)
+                if c is not None:
+                    self.assign(eid, c)
+                    return True
+            if self.is_saturated(u, b) and self.attempt_flip(u, b, a):
+                c = self.common_missing_color(u, v)
+                if c is not None:
+                    self.assign(eid, c)
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def validate(self, require_complete: bool = False) -> None:
+        """Recompute all counts from scratch and compare.
+
+        Raises:
+            ScheduleValidationError: on any inconsistency or capacity
+                violation.
+        """
+        if require_complete and self.uncolored:
+            raise ScheduleValidationError(f"{len(self.uncolored)} edges uncolored")
+        fresh: Dict[Node, Dict[int, int]] = {v: {} for v in self.graph.nodes}
+        for eid, c in self.color.items():
+            u, v = self.graph.endpoints(eid)
+            if not 0 <= c < self.q:
+                raise ScheduleValidationError(f"edge {eid} has color {c} outside palette")
+            if u == v:
+                fresh[u][c] = fresh[u].get(c, 0) + 2
+            else:
+                fresh[u][c] = fresh[u].get(c, 0) + 1
+                fresh[v][c] = fresh[v].get(c, 0) + 1
+        for v, per_color in fresh.items():
+            for c, n in per_color.items():
+                if n > self.cap[v]:
+                    raise ScheduleValidationError(
+                        f"node {v!r} has {n} edges of color {c} but c_v={self.cap[v]}"
+                    )
+                if n != self.count(v, c):
+                    raise ScheduleValidationError(
+                        f"count drift at ({v!r}, {c}): cached {self.count(v, c)}, real {n}"
+                    )
+
+    def colors_used(self) -> int:
+        return len(set(self.color.values()))

@@ -1,0 +1,104 @@
+"""Migration schedules and their validation.
+
+A schedule is a partition of the transfer graph's edges into rounds.
+Feasibility (matching the paper's model) requires that in every round,
+every disk ``v`` is an endpoint of at most ``c_v`` scheduled transfers.
+Schedules are interchangeable with capacitated edge colorings: round
+``i`` is color ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.errors import ScheduleValidationError
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import EdgeId, Node
+
+
+class MigrationSchedule:
+    """An ordered list of rounds; each round is a list of edge ids."""
+
+    def __init__(self, rounds: Sequence[Sequence[EdgeId]], method: str = "unknown"):
+        self._rounds: List[List[EdgeId]] = [list(r) for r in rounds if len(r) > 0]
+        self.method = method
+
+    @classmethod
+    def from_coloring(
+        cls, coloring: Mapping[EdgeId, int], method: str = "unknown"
+    ) -> "MigrationSchedule":
+        """Convert an ``edge -> color`` map into a schedule.
+
+        Colors need not be contiguous; empty color classes vanish.
+        """
+        if not coloring:
+            return cls([], method=method)
+        buckets: Dict[int, List[EdgeId]] = {}
+        for eid, c in coloring.items():
+            buckets.setdefault(c, []).append(eid)
+        return cls([buckets[c] for c in sorted(buckets)], method=method)
+
+    def as_coloring(self) -> Dict[EdgeId, int]:
+        """The inverse view: ``edge_id -> round index``."""
+        return {eid: i for i, rnd in enumerate(self._rounds) for eid in rnd}
+
+    @property
+    def rounds(self) -> List[List[EdgeId]]:
+        return [list(r) for r in self._rounds]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def round_loads(self, instance: MigrationInstance, round_index: int) -> Dict[Node, int]:
+        """Transfers each disk performs in the given round."""
+        loads: Dict[Node, int] = {}
+        for eid in self._rounds[round_index]:
+            u, v = instance.graph.endpoints(eid)
+            loads[u] = loads.get(u, 0) + 1
+            loads[v] = loads.get(v, 0) + 1
+        return loads
+
+    def validate(self, instance: MigrationInstance) -> None:
+        """Check the schedule against the instance.
+
+        Verifies that (a) every transfer-graph edge is scheduled in
+        exactly one round, (b) no unknown edge appears, and (c) every
+        round respects every transfer constraint.
+
+        Raises:
+            ScheduleValidationError: on the first violation found.
+        """
+        seen: Dict[EdgeId, int] = {}
+        for i, rnd in enumerate(self._rounds):
+            for eid in rnd:
+                if not instance.graph.has_edge_id(eid):
+                    raise ScheduleValidationError(f"round {i} schedules unknown edge {eid}")
+                if eid in seen:
+                    raise ScheduleValidationError(
+                        f"edge {eid} scheduled twice (rounds {seen[eid]} and {i})"
+                    )
+                seen[eid] = i
+        missing = [eid for eid in instance.graph.edge_ids() if eid not in seen]
+        if missing:
+            raise ScheduleValidationError(
+                f"{len(missing)} items never migrated, e.g. {missing[:5]}"
+            )
+        for i in range(len(self._rounds)):
+            for v, load in self.round_loads(instance, i).items():
+                if load > instance.capacity(v):
+                    raise ScheduleValidationError(
+                        f"round {i}: disk {v!r} performs {load} transfers "
+                        f"but c_v = {instance.capacity(v)}"
+                    )
+
+    def is_valid(self, instance: MigrationInstance) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(instance)
+        except ScheduleValidationError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"MigrationSchedule(rounds={self.num_rounds}, method={self.method!r})"

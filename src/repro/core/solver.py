@@ -1,0 +1,99 @@
+"""The public scheduling entry point.
+
+:func:`plan_migration` dispatches to the right algorithm:
+
+* every ``c_v`` even  → the optimal Section-IV scheduler;
+* otherwise           → the Section-V ``(1 + o(1))``-approximation;
+
+with explicit ``method=`` overrides for the baselines, the exact
+brute-force solver and forced algorithm choices.  Every schedule
+returned is validated against the instance before it leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.baselines import (
+    even_rounding_schedule,
+    greedy_schedule,
+    homogeneous_schedule,
+    saia_schedule,
+)
+from repro.core.even_optimal import even_optimal_schedule
+from repro.core.exact import exact_optimum
+from repro.core.general import GeneralSolverStats, general_schedule
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.core.special_cases import (
+    bipartite_optimal_schedule,
+    is_bipartite_instance,
+)
+
+METHODS = (
+    "auto",
+    "even_optimal",
+    "bipartite_optimal",
+    "general",
+    "saia",
+    "homogeneous",
+    "greedy",
+    "even_rounding",
+    "exact",
+)
+
+
+def plan_migration(
+    instance: MigrationInstance,
+    method: str = "auto",
+    seed: int = 0,
+    stats: Optional[GeneralSolverStats] = None,
+) -> MigrationSchedule:
+    """Compute a migration schedule for ``instance``.
+
+    Args:
+        instance: transfer graph + per-disk constraints.
+        method: one of :data:`METHODS`.  ``"auto"`` picks the optimal
+            even-capacity algorithm when all constraints are even and
+            the general approximation otherwise.
+        seed: randomness seed (used by the general algorithm's sweeps).
+        stats: optional :class:`GeneralSolverStats` collector, filled
+            when the general algorithm runs.
+
+    Returns:
+        A validated :class:`MigrationSchedule`.
+
+    Raises:
+        ValueError: for an unknown method.
+    """
+    if method == "auto":
+        if instance.all_even():
+            method = "even_optimal"
+        elif is_bipartite_instance(instance):
+            # Bipartite transfer graphs (disk add/remove shapes) are
+            # optimally solvable for arbitrary c_v — see special_cases.
+            method = "bipartite_optimal"
+        else:
+            method = "general"
+
+    if method == "even_optimal":
+        schedule = even_optimal_schedule(instance)
+    elif method == "bipartite_optimal":
+        schedule = bipartite_optimal_schedule(instance)
+    elif method == "general":
+        schedule = general_schedule(instance, seed=seed, stats=stats)
+    elif method == "saia":
+        schedule = saia_schedule(instance)
+    elif method == "homogeneous":
+        schedule = homogeneous_schedule(instance)
+    elif method == "greedy":
+        schedule = greedy_schedule(instance)
+    elif method == "even_rounding":
+        schedule = even_rounding_schedule(instance)
+    elif method == "exact":
+        schedule = exact_optimum(instance)
+    else:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    schedule.validate(instance)
+    return schedule

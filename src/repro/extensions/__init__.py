@@ -1,0 +1,37 @@
+"""Extensions beyond the paper's core model.
+
+The paper's related-work section (Section II) maps the neighbouring
+problem space; this subpackage implements working versions of the three
+closest neighbours so the library covers the whole migration story:
+
+* :mod:`repro.extensions.indirect` — migration **with forwarding**
+  (Coffman et al., Sanders & Solis-Oba's "helpers"): idle nodes relay
+  items, beating the direct-transfer density bound ``Γ'``.
+* :mod:`repro.extensions.completion_time` — alternative objectives
+  (Kim; Gandhi et al.): minimize the (weighted) sum of item completion
+  times, or the sum of per-disk release times, by reordering rounds.
+* :mod:`repro.extensions.cloning` — migration **with cloning**
+  (Khuller, Kim & Wan): items with destination *sets*; receivers
+  become sources, so copies spread gossip-style.
+"""
+
+from repro.extensions.indirect import ForwardingResult, forwarding_schedule
+from repro.extensions.completion_time import (
+    reorder_rounds_by_weight,
+    sum_completion_time,
+    weighted_sum_completion_time,
+)
+from repro.extensions.cloning import CloningInstance, gossip_schedule
+from repro.extensions.throttle import throttled_schedule, throttle_tradeoff
+
+__all__ = [
+    "ForwardingResult",
+    "forwarding_schedule",
+    "sum_completion_time",
+    "weighted_sum_completion_time",
+    "reorder_rounds_by_weight",
+    "CloningInstance",
+    "gossip_schedule",
+    "throttled_schedule",
+    "throttle_tradeoff",
+]

@@ -1,0 +1,187 @@
+"""Online migration: move batches arrive while earlier ones still run.
+
+Aqueduct (Lu, Alvarez & Wilkes, FAST'02 — cited as [12]) runs
+migrations *online*, concurrently with new reconfiguration decisions.
+This module simulates that regime on the paper's round model: batches
+of moves arrive at round boundaries, and a policy decides what each
+round executes.
+
+Policies:
+
+* ``"replan"`` — every round, rebuild a migration instance from all
+  pending moves and run the paper's scheduler; execute its first
+  round.  Adapts instantly, costs a plan per round.
+* ``"fifo"`` — plan each batch once on arrival and drain batches in
+  order (no interleaving across batches).  Cheap, but a large early
+  batch convoys everything behind it.
+
+:func:`run_online` reports makespan and per-item response times
+(completion round − arrival round); ``bench_online`` compares the
+policies under bursty arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ScheduleValidationError
+from repro.core.problem import MigrationInstance
+from repro.core.solver import plan_migration
+from repro.graphs.multigraph import Multigraph, Node
+
+Move = Tuple[Node, Node]
+POLICIES = ("replan", "fifo")
+
+
+@dataclass
+class OnlineReport:
+    """Outcome of an online simulation."""
+
+    makespan: int = 0
+    # move index (global submission order) -> (arrival, completion) rounds.
+    timeline: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    plans_computed: int = 0
+
+    @property
+    def response_times(self) -> List[int]:
+        return [done - arrived for arrived, done in self.timeline.values()]
+
+    @property
+    def mean_response(self) -> float:
+        times = self.response_times
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def max_response(self) -> int:
+        return max(self.response_times, default=0)
+
+
+def run_online(
+    arrivals: Mapping[int, Sequence[Move]],
+    capacities: Mapping[Node, int],
+    policy: str = "replan",
+    planner: Callable[[MigrationInstance], object] = plan_migration,
+    max_rounds: int = 100_000,
+) -> OnlineReport:
+    """Simulate online migration under a policy.
+
+    Args:
+        arrivals: round -> batch of ``(src, dst)`` moves arriving at
+            the *start* of that round (round 0 = time zero).
+        capacities: ``c_v`` for every disk that ever appears.
+        policy: ``"replan"`` or ``"fifo"``.
+        planner: scheduler used on (sub-)instances.
+
+    Returns:
+        An :class:`OnlineReport`; per-round capacity feasibility is
+        asserted during the simulation.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected {POLICIES}")
+    last_arrival = max(arrivals, default=0)
+    report = OnlineReport()
+
+    # Global move bookkeeping.
+    pending: List[Tuple[int, Move]] = []  # (global index, move)
+    next_index = 0
+    arrival_round: Dict[int, int] = {}
+
+    # FIFO state: queued (batch plans as lists of rounds of move ids).
+    fifo_queue: List[List[List[int]]] = []
+
+    def admit(round_no: int) -> None:
+        nonlocal next_index
+        batch = arrivals.get(round_no, ())
+        if not batch:
+            return
+        ids = []
+        for move in batch:
+            pending.append((next_index, move))
+            arrival_round[next_index] = round_no
+            ids.append(next_index)
+            next_index += 1
+        if policy == "fifo":
+            fifo_queue.append(_plan_batch(ids, dict(pending), capacities, planner, report))
+
+    def _execute(round_no: int, chosen: List[int]) -> None:
+        # Capacity check + mark complete.
+        loads: Dict[Node, int] = {}
+        by_id = dict(pending)
+        for idx in chosen:
+            u, v = by_id[idx]
+            loads[u] = loads.get(u, 0) + 1
+            loads[v] = loads.get(v, 0) + 1
+        for v, n in loads.items():
+            if n > capacities[v]:
+                raise ScheduleValidationError(
+                    f"online round {round_no}: {v!r} runs {n} > c_v={capacities[v]}"
+                )
+        done = set(chosen)
+        pending[:] = [(i, m) for i, m in pending if i not in done]
+        for idx in chosen:
+            report.timeline[idx] = (arrival_round[idx], round_no + 1)
+
+    round_no = 0
+    while round_no <= last_arrival or pending:
+        if round_no >= max_rounds:
+            raise ScheduleValidationError("online simulation exceeded round cap")
+        admit(round_no)
+        if pending:
+            if policy == "replan":
+                chosen = _replan_first_round(pending, capacities, planner, report)
+            else:
+                chosen = _fifo_next_round(fifo_queue)
+            if chosen:
+                _execute(round_no, chosen)
+        round_no += 1
+    report.makespan = round_no
+    return report
+
+
+def _instance_for(
+    moves: List[Tuple[int, Move]], capacities: Mapping[Node, int]
+) -> Tuple[MigrationInstance, Dict[int, int]]:
+    """Build an instance from pending moves; map edge id -> move id."""
+    graph = Multigraph(nodes=list(capacities))
+    edge_to_move: Dict[int, int] = {}
+    for idx, (u, v) in moves:
+        eid = graph.add_edge(u, v)
+        edge_to_move[eid] = idx
+    instance = MigrationInstance(graph, capacities)
+    return instance, edge_to_move
+
+
+def _replan_first_round(
+    pending: List[Tuple[int, Move]],
+    capacities: Mapping[Node, int],
+    planner,
+    report: OnlineReport,
+) -> List[int]:
+    instance, edge_to_move = _instance_for(pending, capacities)
+    schedule = planner(instance)
+    report.plans_computed += 1
+    first = schedule.rounds[0] if schedule.num_rounds else []
+    return [edge_to_move[eid] for eid in first]
+
+
+def _plan_batch(
+    ids: List[int],
+    by_id: Dict[int, Move],
+    capacities: Mapping[Node, int],
+    planner,
+    report: OnlineReport,
+) -> List[List[int]]:
+    moves = [(i, by_id[i]) for i in ids]
+    instance, edge_to_move = _instance_for(moves, capacities)
+    schedule = planner(instance)
+    report.plans_computed += 1
+    return [[edge_to_move[eid] for eid in rnd] for rnd in schedule.rounds]
+
+
+def _fifo_next_round(queue: List[List[List[int]]]) -> List[int]:
+    while queue:
+        if queue[0]:
+            return queue[0].pop(0)
+        queue.pop(0)
+    return []

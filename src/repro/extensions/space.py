@@ -1,0 +1,299 @@
+"""Space-constrained migration (Hall et al.'s free-space model).
+
+The paper's scheduling model ignores storage space; its predecessor
+(Hall, Hartline, Karlin, Saia, Wilkes — SODA'01, cited as [4]) showed
+space is the hard part: a move ``u -> v`` can only execute while ``v``
+has a free unit, and chains/cycles of full disks can deadlock direct
+schedules.  Their remedies: each disk keeps one spare unit, and
+*bypass nodes* temporarily park items.
+
+This module layers that model on top of any round schedule:
+
+* :class:`SpaceState` — per-disk occupancy tracking with the
+  conservative semantics that space freed by an outgoing item becomes
+  available only in the *next* round (simultaneous transfers within a
+  round cannot hand off slots).
+* :func:`make_space_feasible` — post-processes a capacity-feasible
+  schedule into a space-feasible one: within each round it keeps the
+  moves whose targets have room, defers the rest, and when a deferred
+  set deadlocks (a cycle of full disks) it breaks the cycle by
+  *bypassing* one item through a disk with spare space, exactly like
+  Hall et al.'s bypass nodes.  Transfer constraints ``c_v`` stay
+  respected throughout.
+* :func:`space_feasible_rounds` / :func:`validate_space` — checking.
+
+The cost of space-tightness is measured by ``bench_space``: with one
+spare unit per disk the overhead stays a small constant factor,
+mirroring Hall et al.'s theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.errors import ScheduleValidationError, SolverError
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.graphs.multigraph import EdgeId, Node
+
+# A physical hop executed in a round: (item edge id, from, to).
+SpaceHop = Tuple[EdgeId, Node, Node]
+
+
+@dataclass
+class SpacePlan:
+    """A space-feasible execution of a migration."""
+
+    rounds: List[List[SpaceHop]]
+    bypassed_items: Set[EdgeId] = field(default_factory=set)
+    base_rounds: int = 0  # the capacity-only schedule's length
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def overhead(self) -> float:
+        """Rounds relative to the space-oblivious schedule."""
+        return self.num_rounds / self.base_rounds if self.base_rounds else 1.0
+
+
+class SpaceState:
+    """Occupancy bookkeeping for unit-size items on finite disks."""
+
+    def __init__(
+        self,
+        instance: MigrationInstance,
+        occupancy: Mapping[Node, int],
+        space: Mapping[Node, int],
+    ):
+        self.instance = instance
+        self.occupancy: Dict[Node, int] = dict(occupancy)
+        self.space: Dict[Node, int] = dict(space)
+        for v in instance.graph.nodes:
+            if v not in self.occupancy:
+                raise ScheduleValidationError(f"no occupancy for disk {v!r}")
+            if v not in self.space:
+                raise ScheduleValidationError(f"no space bound for disk {v!r}")
+            if self.occupancy[v] > self.space[v]:
+                raise ScheduleValidationError(
+                    f"disk {v!r} starts over capacity: {self.occupancy[v]}/{self.space[v]}"
+                )
+
+    def free(self, v: Node) -> int:
+        return self.space[v] - self.occupancy[v]
+
+    def apply_round(self, hops: List[SpaceHop]) -> None:
+        """Execute a round; incoming items need room *before* outgoing
+        space frees up (conservative simultaneous semantics)."""
+        incoming: Dict[Node, int] = {}
+        outgoing: Dict[Node, int] = {}
+        for _eid, src, dst in hops:
+            outgoing[src] = outgoing.get(src, 0) + 1
+            incoming[dst] = incoming.get(dst, 0) + 1
+        for v, n in incoming.items():
+            if self.occupancy[v] + n > self.space[v]:
+                raise ScheduleValidationError(
+                    f"disk {v!r} would hold {self.occupancy[v] + n} > {self.space[v]}"
+                )
+        for v, n in incoming.items():
+            self.occupancy[v] += n
+        for v, n in outgoing.items():
+            self.occupancy[v] -= n
+
+
+def default_occupancy(instance: MigrationInstance) -> Dict[Node, int]:
+    """Occupancy implied by the transfer graph: out-degree items live
+    on their source disks (plus nothing else)."""
+    occ: Dict[Node, int] = {v: 0 for v in instance.graph.nodes}
+    for _eid, u, _v in instance.graph.edges():
+        occ[u] += 1
+    return occ
+
+
+def spare_space(
+    instance: MigrationInstance, occupancy: Mapping[Node, int], spare: int = 1
+) -> Dict[Node, int]:
+    """Space bounds giving every disk its final load plus ``spare``.
+
+    A disk must at least fit ``max(start, end)`` occupancy; Hall et
+    al.'s one-spare-unit assumption corresponds to ``spare = 1``.
+    """
+    incoming: Dict[Node, int] = {v: 0 for v in instance.graph.nodes}
+    for _eid, _u, v in instance.graph.edges():
+        incoming[v] += 1
+    return {
+        v: max(occupancy[v], incoming[v]) + spare
+        for v in instance.graph.nodes
+    }
+
+
+def make_space_feasible(
+    instance: MigrationInstance,
+    schedule: MigrationSchedule,
+    occupancy: Optional[Mapping[Node, int]] = None,
+    space: Optional[Mapping[Node, int]] = None,
+    max_rounds_factor: int = 6,
+) -> SpacePlan:
+    """Turn a capacity-feasible schedule into a space-feasible plan.
+
+    Rounds are replayed in order; a move executes when its target has
+    room *and* both endpoints still have transfer slots this round.
+    Deferred moves retry in later rounds.  If an all-full cycle blocks
+    every remaining move, one blocked item is bypassed through a disk
+    with free space (costing that item one extra hop), which provably
+    unblocks the cycle.
+
+    Raises:
+        SolverError: if the plan exceeds ``max_rounds_factor`` times
+            the base schedule (indicates space below ``spare=0``
+            feasibility).
+    """
+    occ = dict(occupancy) if occupancy is not None else default_occupancy(instance)
+    spc = dict(space) if space is not None else spare_space(instance, occ, spare=1)
+    state = SpaceState(instance, occ, spc)
+    graph = instance.graph
+
+    # Item state: where each item currently lives and its final target.
+    location: Dict[EdgeId, Node] = {}
+    target: Dict[EdgeId, Node] = {}
+    for eid, u, v in graph.edges():
+        location[eid] = u
+        target[eid] = v
+    # Process items in schedule order; keep a queue of pending items.
+    queue: List[EdgeId] = [eid for rnd in schedule.rounds for eid in rnd]
+    pending: Set[EdgeId] = set(queue)
+    bypassed: Set[EdgeId] = set()
+
+    plan_rounds: List[List[SpaceHop]] = []
+    cap_rounds = max(1, max_rounds_factor * max(schedule.num_rounds, 1))
+
+    while pending:
+        if len(plan_rounds) >= cap_rounds:
+            raise SolverError(
+                f"space-feasible plan exceeded {cap_rounds} rounds; "
+                "insufficient free space"
+            )
+        used: Dict[Node, int] = {v: 0 for v in graph.nodes}
+        headroom: Dict[Node, int] = {v: state.free(v) for v in graph.nodes}
+        hops: List[SpaceHop] = []
+
+        def can_move(src: Node, dst: Node) -> bool:
+            return (
+                used[src] < instance.capacity(src)
+                and used[dst] < instance.capacity(dst)
+                and headroom[dst] > 0
+            )
+
+        def commit(eid: EdgeId, src: Node, dst: Node) -> None:
+            used[src] += 1
+            used[dst] += 1
+            headroom[dst] -= 1
+            hops.append((eid, src, dst))
+
+        moved: Set[EdgeId] = set()
+        for eid in queue:
+            if eid not in pending or eid in moved:
+                continue
+            src, dst = location[eid], target[eid]
+            if can_move(src, dst):
+                commit(eid, src, dst)
+                moved.add(eid)
+
+        if not hops:
+            # Deadlock: every pending target is full.  Bypass one item
+            # through a disk with headroom (Hall et al.'s bypass node).
+            broke = False
+            for eid in queue:
+                if eid not in pending:
+                    continue
+                src = location[eid]
+                if used[src] >= instance.capacity(src):
+                    continue
+                helper = _pick_bypass(instance, used, headroom, src, target[eid])
+                if helper is None:
+                    continue
+                commit(eid, src, helper)
+                location[eid] = helper
+                bypassed.add(eid)
+                broke = True
+                break
+            if not broke:
+                raise SolverError(
+                    "space deadlock with no bypass capacity anywhere; "
+                    "add spare space"
+                )
+
+        state.apply_round(hops)
+        for eid, _src, dst in hops:
+            if eid in bypassed and dst != target[eid]:
+                continue  # parked on a bypass node, still pending
+            if dst == target[eid]:
+                pending.discard(eid)
+            location[eid] = dst
+        # Location updates for bypass hops happened at commit time.
+        plan_rounds.append(hops)
+
+    plan = SpacePlan(
+        rounds=plan_rounds, bypassed_items=bypassed, base_rounds=schedule.num_rounds
+    )
+    validate_space(instance, plan, occ, spc)
+    return plan
+
+
+def _pick_bypass(
+    instance: MigrationInstance,
+    used: Dict[Node, int],
+    headroom: Dict[Node, int],
+    src: Node,
+    final_target: Node,
+) -> Optional[Node]:
+    """A bypass disk: free slot, free space, not the (full) target."""
+    best: Optional[Node] = None
+    best_room = 0
+    for w in instance.graph.nodes:
+        if w in (src, final_target):
+            continue
+        if used[w] >= instance.capacity(w) or headroom[w] <= 0:
+            continue
+        if headroom[w] > best_room:
+            best, best_room = w, headroom[w]
+    return best
+
+
+def validate_space(
+    instance: MigrationInstance,
+    plan: SpacePlan,
+    occupancy: Mapping[Node, int],
+    space: Mapping[Node, int],
+) -> None:
+    """Re-simulate the plan: capacities, space, continuity, delivery.
+
+    Raises:
+        ScheduleValidationError: on any violation.
+    """
+    graph = instance.graph
+    state = SpaceState(instance, occupancy, space)
+    location: Dict[EdgeId, Node] = {eid: u for eid, u, _v in graph.edges()}
+    for i, hops in enumerate(plan.rounds):
+        used: Dict[Node, int] = {}
+        for eid, src, dst in hops:
+            if location[eid] != src:
+                raise ScheduleValidationError(
+                    f"round {i}: item {eid} at {location[eid]!r}, hop claims {src!r}"
+                )
+            used[src] = used.get(src, 0) + 1
+            used[dst] = used.get(dst, 0) + 1
+            location[eid] = dst
+        for v, n in used.items():
+            if n > instance.capacity(v):
+                raise ScheduleValidationError(
+                    f"round {i}: {v!r} in {n} transfers > c_v={instance.capacity(v)}"
+                )
+        state.apply_round(hops)  # raises on space violation
+    for eid, _u, v in graph.edges():
+        if location[eid] != v:
+            raise ScheduleValidationError(
+                f"item {eid} finished at {location[eid]!r}, wanted {v!r}"
+            )

@@ -1,0 +1,73 @@
+"""Shared helpers for proper (one-per-node) edge colorings."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graphs.multigraph import EdgeId, Multigraph
+
+
+class ImproperColoringError(AssertionError):
+    """Raised by validators when a coloring violates its constraints."""
+
+
+def num_colors_used(coloring: Dict[EdgeId, int]) -> int:
+    """Number of distinct colors appearing in the coloring."""
+    return len(set(coloring.values()))
+
+
+def validate_proper_coloring(
+    graph: Multigraph,
+    coloring: Dict[EdgeId, int],
+    max_colors: Optional[int] = None,
+    require_complete: bool = True,
+) -> None:
+    """Check that ``coloring`` is a proper edge coloring of ``graph``.
+
+    Proper means no two edges sharing a node have the same color.
+    Self-loops are rejected outright: they can never be properly
+    colored (both "ends" meet at the same node).
+
+    Raises:
+        ImproperColoringError: on any violation.
+    """
+    if require_complete:
+        missing = [eid for eid in graph.edge_ids() if eid not in coloring]
+        if missing:
+            raise ImproperColoringError(f"{len(missing)} edges left uncolored: {missing[:5]}")
+    for eid in coloring:
+        if not graph.has_edge_id(eid):
+            raise ImproperColoringError(f"colored edge {eid} not in graph")
+        if graph.is_self_loop(eid):
+            raise ImproperColoringError(f"self-loop {eid} cannot be properly colored")
+        if max_colors is not None and not 0 <= coloring[eid] < max_colors:
+            raise ImproperColoringError(
+                f"edge {eid} uses color {coloring[eid]} outside [0, {max_colors})"
+            )
+    for v in graph.nodes:
+        seen: Dict[int, EdgeId] = {}
+        for eid in graph.incident_edges(v):
+            if eid not in coloring:
+                continue
+            c = coloring[eid]
+            if c in seen:
+                raise ImproperColoringError(
+                    f"node {v!r} has two edges ({seen[c]}, {eid}) with color {c}"
+                )
+            seen[c] = eid
+
+
+def inherit_palette(colorings: Dict[int, Dict[EdgeId, int]]) -> Dict[EdgeId, int]:
+    """Merge per-part colorings using disjoint palettes.
+
+    ``colorings`` maps a part index to that part's coloring; part ``i``
+    keeps its own colors shifted above all earlier parts' palettes.
+    """
+    merged: Dict[EdgeId, int] = {}
+    offset = 0
+    for _part, coloring in sorted(colorings.items()):
+        width = max(coloring.values()) + 1 if coloring else 0
+        for eid, c in coloring.items():
+            merged[eid] = c + offset
+        offset += width
+    return merged

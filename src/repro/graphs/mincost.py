@@ -1,0 +1,181 @@
+"""Minimum-cost maximum flow (successive shortest paths).
+
+Used where plain max-flow finds *a* feasible assignment but we want
+the *cheapest* one — e.g. recovery placement
+(:func:`repro.cluster.replication.recovery_moves_balanced`) assigns
+new replicas to disks with convex per-disk costs so receive load
+spreads in proportion to transfer capability.
+
+Implementation: successive shortest augmenting paths with Johnson
+potentials (Bellman–Ford once for initialization, Dijkstra with
+reduced costs afterwards).  Capacities and costs are integers; the
+returned flow is integral and cost-optimal for its value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+Node = Hashable
+_INF = float("inf")
+
+
+class MinCostFlow:
+    """A directed network with integer capacities and costs."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Node, int] = {}
+        self._names: List[Node] = []
+        # Edge arrays; twin of arc i is i ^ 1.
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._cost: List[int] = []
+        self._adj: List[List[int]] = []
+
+    def _node(self, v: Node) -> int:
+        if v not in self._index:
+            self._index[v] = len(self._names)
+            self._names.append(v)
+            self._adj.append([])
+        return self._index[v]
+
+    def add_edge(self, u: Node, v: Node, capacity: int, cost: int) -> int:
+        """Add ``u -> v`` with capacity and per-unit cost; returns a handle."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity on {u!r}->{v!r}")
+        ui, vi = self._node(u), self._node(v)
+        handle = len(self._to)
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._cost.append(cost)
+        self._adj[ui].append(handle)
+        self._to.append(ui)
+        self._cap.append(0)
+        self._cost.append(-cost)
+        self._adj[vi].append(handle + 1)
+        return handle
+
+    def flow_on(self, handle: int) -> int:
+        return self._cap[handle ^ 1]
+
+    def min_cost_flow(
+        self, source: Node, sink: Node, max_flow: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Send up to ``max_flow`` units (default: maximum) cheaply.
+
+        Returns ``(flow_value, total_cost)``.  Costs may be negative on
+        input edges; the first potential pass uses Bellman–Ford so
+        reduced costs are non-negative thereafter.
+        """
+        s, t = self._node(source), self._node(sink)
+        if s == t:
+            raise ValueError("source and sink must differ")
+        n = len(self._names)
+        limit = max_flow if max_flow is not None else sum(self._cap)
+
+        # Bellman–Ford initial potentials (handles negative costs).
+        potential = [0.0] * n
+        for _ in range(n - 1):
+            changed = False
+            for u in range(n):
+                for h in self._adj[u]:
+                    if self._cap[h] > 0 and potential[u] + self._cost[h] < potential[self._to[h]]:
+                        potential[self._to[h]] = potential[u] + self._cost[h]
+                        changed = True
+            if not changed:
+                break
+
+        total_flow = 0
+        total_cost = 0
+        while total_flow < limit:
+            dist, parent_arc = self._dijkstra(s, potential)
+            if dist[t] == _INF:
+                break
+            for i in range(n):
+                if dist[i] < _INF:
+                    potential[i] += dist[i]
+            # Bottleneck along the path.
+            push = limit - total_flow
+            v = t
+            while v != s:
+                arc = parent_arc[v]
+                push = min(push, self._cap[arc])
+                v = self._to[arc ^ 1]
+            v = t
+            while v != s:
+                arc = parent_arc[v]
+                self._cap[arc] -= push
+                self._cap[arc ^ 1] += push
+                total_cost += push * self._cost[arc]
+                v = self._to[arc ^ 1]
+            total_flow += push
+        return total_flow, total_cost
+
+    def _dijkstra(self, s: int, potential: List[float]):
+        n = len(self._names)
+        dist = [_INF] * n
+        parent_arc = [-1] * n
+        dist[s] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, s)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for h in self._adj[u]:
+                if self._cap[h] <= 0:
+                    continue
+                v = self._to[h]
+                nd = d + self._cost[h] + potential[u] - potential[v]
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    parent_arc[v] = h
+                    heapq.heappush(heap, (nd, v))
+        return dist, parent_arc
+
+
+def convex_assignment(
+    demands: Dict[Node, int],
+    suppliers: Dict[Node, int],
+    allowed: Dict[Node, List[Node]],
+    marginal_cost: Dict[Node, List[int]],
+) -> Dict[Node, List[Node]]:
+    """Assign each demand unit to an allowed supplier at convex cost.
+
+    Args:
+        demands: units each demand node needs (usually 1).
+        suppliers: max units each supplier can take.
+        allowed: demand node -> eligible suppliers.
+        marginal_cost: supplier -> cost of its 1st, 2nd, … unit
+            (non-decreasing for a convex objective; length >=
+            ``suppliers[s]``).
+
+    Returns:
+        demand node -> list of suppliers (length = its demand).
+
+    Raises:
+        ValueError: if the demand cannot be fully assigned.
+    """
+    net = MinCostFlow()
+    source, sink = ("__src__",), ("__snk__",)
+    for d, units in demands.items():
+        net.add_edge(source, ("D", d), units, 0)
+    handles: Dict[Tuple[Node, Node], int] = {}
+    for d, options in allowed.items():
+        for s in options:
+            handles[(d, s)] = net.add_edge(("D", d), ("S", s), demands[d], 0)
+    for s, units in suppliers.items():
+        costs = marginal_cost[s]
+        if len(costs) < units:
+            raise ValueError(f"supplier {s!r} needs {units} marginal costs")
+        for k in range(units):
+            net.add_edge(("S", s), sink, 1, costs[k])
+    want = sum(demands.values())
+    flow, _cost = net.min_cost_flow(source, sink, max_flow=want)
+    if flow < want:
+        raise ValueError(f"only {flow} of {want} demand units assignable")
+    out: Dict[Node, List[Node]] = {d: [] for d in demands}
+    for (d, s), h in handles.items():
+        for _ in range(net.flow_on(h)):
+            out[d].append(s)
+    return out

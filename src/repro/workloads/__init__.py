@@ -1,0 +1,35 @@
+"""Workload generators for experiments and examples.
+
+* :mod:`repro.workloads.generators` — parametric transfer-graph
+  families (random, clique/Figure-2, bipartite, hotspot, regular).
+* :mod:`repro.workloads.zipf` — Zipf demand distributions.
+* :mod:`repro.workloads.scenarios` — end-to-end cluster scenarios
+  (VoD demand shift, scale-out, decommission) built on
+  :mod:`repro.cluster`.
+"""
+
+from repro.workloads.generators import (
+    bipartite_instance,
+    clique_instance,
+    hotspot_instance,
+    random_instance,
+    regular_instance,
+)
+from repro.workloads.scenarios import (
+    decommission_scenario,
+    scale_out_scenario,
+    sensor_harvest_scenario,
+    vod_rebalance_scenario,
+)
+
+__all__ = [
+    "random_instance",
+    "clique_instance",
+    "bipartite_instance",
+    "hotspot_instance",
+    "regular_instance",
+    "vod_rebalance_scenario",
+    "scale_out_scenario",
+    "decommission_scenario",
+    "sensor_harvest_scenario",
+]

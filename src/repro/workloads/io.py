@@ -1,0 +1,150 @@
+"""Instance serialization: archive and replay migration workloads.
+
+Real deployments capture the migration batches they ran; this module
+gives instances a stable JSON wire format so workloads can be archived,
+shared and replayed byte-identically (node names and parallel-edge
+multiplicities survive the round trip; edge ids are regenerated).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import Multigraph
+
+FORMAT_VERSION = 1
+
+
+def instance_to_json(instance: MigrationInstance, indent: int = 2) -> str:
+    """Serialize an instance to JSON (nodes, capacities, moves)."""
+    moves: List[Tuple[str, str]] = [
+        (str(u), str(v)) for _eid, u, v in instance.graph.edges()
+    ]
+    payload = {
+        "format": "repro-migration-instance",
+        "version": FORMAT_VERSION,
+        "nodes": sorted(str(v) for v in instance.graph.nodes),
+        "capacities": {str(v): c for v, c in instance.capacities.items()},
+        "moves": sorted(moves),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def instance_from_json(payload: str) -> MigrationInstance:
+    """Inverse of :func:`instance_to_json`.
+
+    Raises:
+        ValueError: on an unrecognized format or version.
+    """
+    data = json.loads(payload)
+    if data.get("format") != "repro-migration-instance":
+        raise ValueError(f"not a migration instance payload: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    graph = Multigraph(nodes=data["nodes"])
+    for u, v in data["moves"]:
+        graph.add_edge(u, v)
+    capacities = {v: int(c) for v, c in data["capacities"].items()}
+    return MigrationInstance(graph, capacities)
+
+
+def save_instance(instance: MigrationInstance, path: str) -> None:
+    """Write an instance to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        handle.write(instance_to_json(instance))
+
+
+def load_instance(path: str) -> MigrationInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    with open(path) as handle:
+        return instance_from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Plans: instance + schedule together (edge ids are internal, so the
+# pair must travel as one payload to stay consistent).
+# ----------------------------------------------------------------------
+
+def plan_to_json(instance: MigrationInstance, schedule, indent: int = 2) -> str:
+    """Serialize an instance with a schedule for it.
+
+    Edge ids are process-local, so rounds are stored as indices into an
+    explicitly ordered move list; :func:`plan_from_json` rebuilds the
+    graph in that order, making the round indices valid edge ids again.
+    """
+    ordered_eids = sorted(instance.graph.edge_ids())
+    index_of = {eid: i for i, eid in enumerate(ordered_eids)}
+    moves = [
+        [str(u), str(v)]
+        for eid in ordered_eids
+        for (u, v) in [instance.graph.endpoints(eid)]
+    ]
+    payload = {
+        "format": "repro-migration-plan",
+        "version": FORMAT_VERSION,
+        "nodes": sorted(str(v) for v in instance.graph.nodes),
+        "capacities": {str(v): c for v, c in instance.capacities.items()},
+        "moves": moves,
+        "method": schedule.method,
+        "rounds": [[index_of[eid] for eid in rnd] for rnd in schedule.rounds],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def plan_from_json(payload: str):
+    """Inverse of :func:`plan_to_json`.
+
+    Returns ``(instance, schedule)``; the schedule is validated against
+    the rebuilt instance before returning.
+
+    Raises:
+        ValueError: on format/version mismatch.
+    """
+    from repro.core.schedule import MigrationSchedule
+
+    data = json.loads(payload)
+    if data.get("format") != "repro-migration-plan":
+        raise ValueError(f"not a migration plan payload: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    graph = Multigraph(nodes=data["nodes"])
+    eids = [graph.add_edge(u, v) for u, v in data["moves"]]
+    instance = MigrationInstance(
+        graph, {v: int(c) for v, c in data["capacities"].items()}
+    )
+    schedule = MigrationSchedule(
+        [[eids[i] for i in rnd] for rnd in data["rounds"]],
+        method=data.get("method", "unknown"),
+    )
+    schedule.validate(instance)
+    return instance, schedule
+
+
+def merge_instances(
+    first: MigrationInstance, second: MigrationInstance
+) -> MigrationInstance:
+    """Union of two move batches over a combined fleet.
+
+    Disks present in both must agree on their transfer constraint; the
+    merged instance carries every move of both (as parallel edges when
+    they coincide).  Used when reconfiguration batches pile up and are
+    scheduled as one (the offline alternative to
+    :mod:`repro.extensions.online`).
+
+    Raises:
+        ValueError: on conflicting capacities for a shared disk.
+    """
+    caps = dict(first.capacities)
+    for v, c in second.capacities.items():
+        if v in caps and caps[v] != c:
+            raise ValueError(
+                f"disk {v!r} has conflicting capacities {caps[v]} vs {c}"
+            )
+        caps[v] = c
+    graph = Multigraph(nodes=list(caps))
+    for source in (first, second):
+        for _eid, u, v in source.graph.edges():
+            graph.add_edge(u, v)
+    return MigrationInstance(graph, caps)

@@ -1,0 +1,38 @@
+"""Zipf demand distributions.
+
+Video-on-demand and search workloads are classically Zipf-like: the
+k-th most popular item draws demand proportional to ``1/k^alpha``.
+Demand drives the load-balancing layouts whose *changes* generate
+migration work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> List[float]:
+    """Normalized Zipf weights for ranks ``1..n`` (sum to 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    raw = [1.0 / (k ** alpha) for k in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def shuffled_zipf_weights(n: int, alpha: float, rng: random.Random) -> List[float]:
+    """Zipf weights with ranks assigned randomly — models a *shifted*
+    popularity ranking (yesterday's cold item is today's hit)."""
+    weights = zipf_weights(n, alpha)
+    rng.shuffle(weights)
+    return weights
+
+
+def sample_by_weight(
+    population: Sequence, weights: Sequence[float], k: int, rng: random.Random
+) -> list:
+    """``k`` independent weighted draws (with replacement)."""
+    return rng.choices(list(population), weights=list(weights), k=k)

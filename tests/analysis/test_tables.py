@@ -1,0 +1,35 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("demo", ["name", "value"])
+        t.add_row("alpha", 1)
+        t.add_row("beta", 2.5)
+        out = t.render()
+        assert "demo" in out
+        assert "alpha" in out
+        assert "2.500" in out  # floats formatted to 3 places
+
+    def test_alignment(self):
+        t = Table("demo", ["c1", "c2"])
+        t.add_row("longvalue", "x")
+        lines = t.render().splitlines()
+        header, sep, row = lines[1], lines[2], lines[3]
+        assert len(header) == len(sep) == len(row)
+
+    def test_wrong_arity_rejected(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_rows_copy(self):
+        t = Table("demo", ["a"])
+        t.add_row(1)
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "1"

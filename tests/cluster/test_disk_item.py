@@ -1,0 +1,55 @@
+"""Tests for the disk and data-item models."""
+
+import pytest
+
+from repro.cluster.disk import Disk
+from repro.cluster.item import DataItem
+
+
+class TestDisk:
+    def test_defaults(self):
+        d = Disk(disk_id="d0")
+        assert d.transfer_limit == 1
+        assert d.bandwidth == 1.0
+        assert d.space == float("inf")
+
+    def test_invalid_transfer_limit(self):
+        with pytest.raises(ValueError):
+            Disk(disk_id="d0", transfer_limit=0)
+        with pytest.raises(ValueError):
+            Disk(disk_id="d0", transfer_limit=2.5)  # type: ignore[arg-type]
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Disk(disk_id="d0", bandwidth=0)
+
+    def test_per_transfer_rate_splits_evenly(self):
+        d = Disk(disk_id="d0", transfer_limit=4, bandwidth=8.0)
+        assert d.per_transfer_rate(1) == 8.0
+        assert d.per_transfer_rate(4) == 2.0
+
+    def test_per_transfer_rate_respects_limit(self):
+        d = Disk(disk_id="d0", transfer_limit=2)
+        with pytest.raises(ValueError):
+            d.per_transfer_rate(3)
+        with pytest.raises(ValueError):
+            d.per_transfer_rate(0)
+
+
+class TestDataItem:
+    def test_defaults_match_paper_model(self):
+        item = DataItem(item_id="x")
+        assert item.size == 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DataItem(item_id="x", size=0)
+
+    def test_invalid_demand(self):
+        with pytest.raises(ValueError):
+            DataItem(item_id="x", demand=-1)
+
+    def test_frozen(self):
+        item = DataItem(item_id="x")
+        with pytest.raises(AttributeError):
+            item.size = 2.0  # type: ignore[misc]

@@ -1,0 +1,125 @@
+"""Tests for layouts and target-layout policies."""
+
+import pytest
+
+from repro.cluster.disk import Disk
+from repro.cluster.item import DataItem
+from repro.cluster.layout import Layout, balanced_target, spread_onto
+
+
+def make_items(n, demands=None):
+    return {
+        f"i{k}": DataItem(item_id=f"i{k}", demand=(demands[k] if demands else 1.0))
+        for k in range(n)
+    }
+
+
+class TestLayout:
+    def test_place_and_query(self):
+        layout = Layout()
+        layout.place("i0", "d0")
+        assert layout.disk_of("i0") == "d0"
+        assert "i0" in layout
+        assert layout.items_on("d0") == ["i0"]
+
+    def test_moves_to_ignores_unmoved(self):
+        a = Layout({"i0": "d0", "i1": "d1"})
+        b = Layout({"i0": "d0", "i1": "d2"})
+        assert a.moves_to(b) == [("i1", "d1", "d2")]
+
+    def test_moves_to_ignores_new_items(self):
+        a = Layout({"i0": "d0"})
+        b = Layout({"i0": "d0", "fresh": "d1"})
+        assert a.moves_to(b) == []
+
+    def test_load_metrics(self):
+        items = {
+            "i0": DataItem(item_id="i0", size=2.0, demand=5.0),
+            "i1": DataItem(item_id="i1", size=1.0, demand=1.0),
+        }
+        layout = Layout({"i0": "d0", "i1": "d0"})
+        assert layout.load(items, by="count") == {"d0": 2.0}
+        assert layout.load(items, by="size") == {"d0": 3.0}
+        assert layout.load(items, by="demand") == {"d0": 6.0}
+
+    def test_load_unknown_metric(self):
+        layout = Layout({"i0": "d0"})
+        with pytest.raises(ValueError):
+            layout.load({"i0": DataItem(item_id="i0")}, by="entropy")
+
+    def test_copy_is_independent(self):
+        a = Layout({"i0": "d0"})
+        b = a.copy()
+        b.place("i0", "d1")
+        assert a.disk_of("i0") == "d0"
+
+
+class TestBalancedTarget:
+    def test_spreads_equal_items_evenly(self):
+        items = make_items(9)
+        disks = [Disk(disk_id=f"d{i}") for i in range(3)]
+        layout = balanced_target(items, disks)
+        counts = sorted(len(layout.items_on(d.disk_id)) for d in disks)
+        assert counts == [3, 3, 3]
+
+    def test_faster_disks_get_more_demand(self):
+        items = make_items(20, demands=list(range(1, 21)))
+        slow = Disk(disk_id="slow", bandwidth=1.0)
+        fast = Disk(disk_id="fast", bandwidth=3.0)
+        layout = balanced_target(items, [slow, fast])
+        demand = layout.load(items, by="demand")
+        assert demand["fast"] > demand["slow"]
+
+    def test_respects_space(self):
+        items = make_items(4)
+        tiny = Disk(disk_id="tiny", space=1.0)
+        big = Disk(disk_id="big", space=100.0)
+        layout = balanced_target(items, [tiny, big])
+        assert len(layout.items_on("tiny")) <= 1
+
+    def test_no_disks(self):
+        with pytest.raises(ValueError):
+            balanced_target(make_items(1), [])
+
+    def test_insufficient_space(self):
+        items = make_items(3)
+        with pytest.raises(ValueError, match="no disk has space"):
+            balanced_target(items, [Disk(disk_id="d0", space=2.0)])
+
+
+class TestSpreadOnto:
+    def test_scale_out_moves_minimum(self):
+        items = make_items(8)
+        current = Layout({f"i{k}": "d0" for k in range(8)})
+        disks = [Disk(disk_id="d0"), Disk(disk_id="d1")]
+        target = spread_onto(current, items, disks)
+        counts = sorted(len(target.items_on(d.disk_id)) for d in disks)
+        assert counts == [4, 4]
+        # d0 keeps 4 of its items: exactly 4 moves.
+        assert len(current.moves_to(target)) == 4
+
+    def test_drain_removed_disk(self):
+        items = make_items(6)
+        current = Layout(
+            {"i0": "dying", "i1": "dying", "i2": "d1", "i3": "d1", "i4": "d2", "i5": "d2"}
+        )
+        survivors = [Disk(disk_id="d1"), Disk(disk_id="d2")]
+        target = spread_onto(current, items, survivors)
+        assert target.items_on("dying") == []
+        assert len(target) == 6
+
+    def test_space_proportional_quota(self):
+        items = make_items(9)
+        current = Layout({f"i{k}": "big" for k in range(9)})
+        big = Disk(disk_id="big", space=200.0)
+        small = Disk(disk_id="small", space=100.0)
+        target = spread_onto(current, items, [big, small])
+        assert len(target.items_on("big")) == 6
+        assert len(target.items_on("small")) == 3
+
+    def test_total_preserved(self):
+        items = make_items(11)
+        current = Layout({f"i{k}": f"d{k % 2}" for k in range(11)})
+        disks = [Disk(disk_id=f"d{i}") for i in range(4)]
+        target = spread_onto(current, items, disks)
+        assert len(target) == 11

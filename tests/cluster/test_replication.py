@@ -1,0 +1,189 @@
+"""Tests for replicated layouts and recovery migrations."""
+
+import pytest
+
+from repro.cluster.disk import Disk
+from repro.cluster.item import DataItem
+from repro.cluster.network import FabricTopology
+from repro.cluster.replication import (
+    ReplicatedLayout,
+    place_replicated,
+    recovery_moves,
+    recovery_moves_balanced,
+    validate_replication,
+)
+from repro.core.errors import InvalidInstanceError, ScheduleValidationError
+from repro.core.solver import plan_migration
+
+
+def fleet(n, limit=2):
+    return [Disk(disk_id=f"d{i}", transfer_limit=limit) for i in range(n)]
+
+
+def catalog(n):
+    return {f"i{k}": DataItem(item_id=f"i{k}") for k in range(n)}
+
+
+class TestReplicatedLayout:
+    def test_place_and_drop(self):
+        layout = ReplicatedLayout()
+        layout.place("x", "d0")
+        layout.place("x", "d1")
+        assert layout.holders("x") == {"d0", "d1"}
+        layout.drop("x", "d0")
+        assert layout.replica_count("x") == 1
+
+    def test_drop_disk_reports_hit_items(self):
+        layout = ReplicatedLayout({"x": ["d0", "d1"], "y": ["d1", "d2"]})
+        hit = layout.drop_disk("d1")
+        assert sorted(hit) == ["x", "y"]
+        assert layout.holders("x") == {"d0"}
+
+    def test_load(self):
+        layout = ReplicatedLayout({"x": ["d0", "d1"], "y": ["d0"]})
+        assert layout.load() == {"d0": 2, "d1": 1}
+
+
+class TestPlacement:
+    def test_distinct_disks(self):
+        layout = place_replicated(catalog(20), fleet(5), replicas=3)
+        for item in layout.items:
+            assert len(layout.holders(item)) == 3
+
+    def test_balanced(self):
+        layout = place_replicated(catalog(20), fleet(4), replicas=2)
+        loads = layout.load()
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_rack_distinct_when_possible(self):
+        disks = fleet(6)
+        topo = FabricTopology.striped([d.disk_id for d in disks], racks=3,
+                                      uplink_bandwidth=1.0)
+        layout = place_replicated(catalog(12), disks, replicas=3, topology=topo)
+        validate_replication(layout, 3, topo, racks_available=3)
+
+    def test_too_few_disks(self):
+        with pytest.raises(InvalidInstanceError):
+            place_replicated(catalog(3), fleet(2), replicas=3)
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(InvalidInstanceError):
+            place_replicated(catalog(1), fleet(3), replicas=0)
+
+
+class TestRecovery:
+    def test_recovery_restores_replication(self):
+        disks = fleet(6)
+        layout = place_replicated(catalog(30), disks, replicas=2)
+        survivors = [d for d in disks if d.disk_id != "d0"]
+        plan = recovery_moves(layout, "d0", survivors)
+        assert plan.num_copies == len(plan.degraded_items)
+        validate_replication(layout, 2)  # layout already reflects the plan
+        # No new replica landed on a disk already holding the item.
+        for _eid, (item, src, dst) in plan.copy_of_edge.items():
+            assert src != dst
+
+    def test_recovery_instance_is_schedulable(self):
+        disks = fleet(8, limit=3)
+        layout = place_replicated(catalog(60), disks, replicas=2)
+        survivors = [d for d in disks if d.disk_id != "d3"]
+        plan = recovery_moves(layout, "d3", survivors)
+        sched = plan_migration(plan.instance)
+        sched.validate(plan.instance)
+
+    def test_last_replica_loss_detected(self):
+        layout = ReplicatedLayout({"x": ["d0"]})
+        with pytest.raises(InvalidInstanceError, match="unrecoverable"):
+            recovery_moves(layout, "d0", fleet(3)[1:])
+
+    def test_failed_disk_cannot_survive(self):
+        layout = ReplicatedLayout({"x": ["d0", "d1"]})
+        with pytest.raises(InvalidInstanceError):
+            recovery_moves(layout, "d0", fleet(3))  # includes d0
+
+    def test_rack_aware_recovery(self):
+        disks = fleet(6)
+        topo = FabricTopology.striped([d.disk_id for d in disks], racks=3,
+                                      uplink_bandwidth=1.0)
+        layout = place_replicated(catalog(18), disks, replicas=2, topology=topo)
+        survivors = [d for d in disks if d.disk_id != "d0"]
+        plan = recovery_moves(layout, "d0", survivors, topology=topo)
+        # New replicas avoid the surviving holder's rack when possible.
+        for _eid, (item, _src, dst) in plan.copy_of_edge.items():
+            other_holders = layout.holders(item) - {dst}
+            if len({topo.rack(h) for h in other_holders}) < 3:
+                assert topo.rack(dst) not in {
+                    topo.rack(h) for h in other_holders
+                }
+
+
+class TestBalancedRecovery:
+    def make_mixed_fleet(self):
+        return [
+            Disk(disk_id=f"d{i}", transfer_limit=(4 if i % 3 == 0 else 1))
+            for i in range(9)
+        ]
+
+    def test_restores_replication_and_validates(self):
+        disks = self.make_mixed_fleet()
+        layout = place_replicated(catalog(120), disks, replicas=2, seed=5)
+        survivors = [d for d in disks if d.disk_id != "d0"]
+        plan = recovery_moves_balanced(layout, "d0", survivors)
+        assert plan.num_copies == len(plan.degraded_items)
+        validate_replication(layout, 2)
+        from repro.core.solver import plan_migration as pm
+
+        pm(plan.instance).validate(plan.instance)
+
+    def test_never_slower_than_greedy_planner(self):
+        from repro.core.solver import plan_migration as pm
+
+        disks = self.make_mixed_fleet()
+        survivors = [d for d in disks if d.disk_id != "d0"]
+        layout_a = place_replicated(catalog(120), disks, replicas=2, seed=5)
+        layout_b = place_replicated(catalog(120), disks, replicas=2, seed=5)
+        greedy = pm(recovery_moves(layout_a, "d0", survivors).instance).num_rounds
+        balanced = pm(
+            recovery_moves_balanced(layout_b, "d0", survivors).instance
+        ).num_rounds
+        assert balanced <= greedy
+
+    def test_capable_disks_receive_more(self):
+        disks = self.make_mixed_fleet()
+        layout = place_replicated(catalog(120), disks, replicas=2, seed=5)
+        survivors = [d for d in disks if d.disk_id != "d0"]
+        plan = recovery_moves_balanced(layout, "d0", survivors)
+        receives = {}
+        for _eid, (_item, _src, dst) in plan.copy_of_edge.items():
+            receives[dst] = receives.get(dst, 0) + 1
+        caps = {d.disk_id: d.transfer_limit for d in survivors}
+        fast = [receives.get(d, 0) for d, c in caps.items() if c == 4]
+        slow = [receives.get(d, 0) for d, c in caps.items() if c == 1]
+        if fast and slow:
+            assert max(fast) >= max(slow)
+
+    def test_no_degraded_items_empty_plan(self):
+        disks = self.make_mixed_fleet()
+        layout = ReplicatedLayout({"x": ["d1", "d2"]})
+        plan = recovery_moves_balanced(layout, "d0", [d for d in disks if d.disk_id != "d0"])
+        assert plan.num_copies == 0
+
+    def test_last_replica_loss_detected(self):
+        layout = ReplicatedLayout({"x": ["d0"]})
+        disks = self.make_mixed_fleet()
+        with pytest.raises(InvalidInstanceError, match="unrecoverable"):
+            recovery_moves_balanced(layout, "d0", [d for d in disks if d.disk_id != "d0"])
+
+
+class TestValidator:
+    def test_wrong_count(self):
+        layout = ReplicatedLayout({"x": ["d0"]})
+        with pytest.raises(ScheduleValidationError, match="replicas"):
+            validate_replication(layout, 2)
+
+    def test_shared_rack_rejected(self):
+        topo = FabricTopology(rack_of={"d0": "r0", "d1": "r0", "d2": "r1"},
+                              uplink_bandwidth=1.0)
+        layout = ReplicatedLayout({"x": ["d0", "d1"]})
+        with pytest.raises(ScheduleValidationError, match="share racks"):
+            validate_replication(layout, 2, topo, racks_available=2)

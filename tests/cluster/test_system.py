@@ -1,0 +1,103 @@
+"""Tests for the storage-cluster model and migration planning."""
+
+import pytest
+
+from repro.cluster.disk import Disk
+from repro.cluster.item import DataItem
+from repro.cluster.layout import Layout
+from repro.cluster.system import StorageCluster
+
+
+def small_cluster():
+    disks = [Disk(disk_id=f"d{i}", transfer_limit=i + 1) for i in range(3)]
+    items = [DataItem(item_id=f"i{k}") for k in range(4)]
+    layout = Layout({"i0": "d0", "i1": "d0", "i2": "d1", "i3": "d2"})
+    return StorageCluster(disks=disks, items=items, layout=layout)
+
+
+class TestFleet:
+    def test_duplicate_disk_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            cluster.add_disk(Disk(disk_id="d0"))
+
+    def test_duplicate_item_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            cluster.add_item(DataItem(item_id="i0"))
+
+    def test_placement_on_unknown_disk_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            cluster.add_item(DataItem(item_id="new"), on_disk="ghost")
+
+    def test_remove_disk_reports_stranded(self):
+        cluster = small_cluster()
+        stranded = cluster.remove_disk("d0")
+        assert sorted(stranded) == ["i0", "i1"]
+        assert "d0" not in cluster.disks
+
+    def test_remove_unknown_disk(self):
+        with pytest.raises(KeyError):
+            small_cluster().remove_disk("ghost")
+
+    def test_transfer_constraints(self):
+        cluster = small_cluster()
+        assert cluster.transfer_constraints() == {"d0": 1, "d1": 2, "d2": 3}
+
+    def test_space_used(self):
+        cluster = small_cluster()
+        assert cluster.space_used() == {"d0": 2.0, "d1": 1.0, "d2": 1.0}
+
+
+class TestMigrationPlanning:
+    def test_plan_builds_transfer_graph(self):
+        cluster = small_cluster()
+        target = cluster.layout.copy()
+        target.place("i0", "d1")
+        target.place("i2", "d2")
+        ctx = cluster.migration_to(target)
+        assert ctx.num_moves == 2
+        inst = ctx.instance
+        assert inst.num_items == 2
+        assert inst.capacity("d2") == 3
+        # Every edge maps to the right item endpoints.
+        for eid, item_id in ctx.edge_items.items():
+            src, dst = inst.graph.endpoints(eid)
+            assert cluster.layout.disk_of(item_id) == src
+            assert target.disk_of(item_id) == dst
+
+    def test_no_moves_empty_instance(self):
+        cluster = small_cluster()
+        ctx = cluster.migration_to(cluster.layout.copy())
+        assert ctx.num_moves == 0
+
+    def test_parallel_moves_become_parallel_edges(self):
+        cluster = small_cluster()
+        target = cluster.layout.copy()
+        target.place("i0", "d1")
+        target.place("i1", "d1")
+        ctx = cluster.migration_to(target)
+        assert ctx.instance.graph.multiplicity("d0", "d1") == 2
+
+    def test_target_on_unknown_disk_rejected(self):
+        cluster = small_cluster()
+        target = cluster.layout.copy()
+        target.place("i0", "ghost")
+        with pytest.raises(ValueError, match="not in fleet"):
+            cluster.migration_to(target)
+
+    def test_stranded_source_rejected_after_removal(self):
+        cluster = small_cluster()
+        cluster.remove_disk("d0")
+        target = cluster.layout.copy()
+        target.place("i0", "d1")
+        with pytest.raises(ValueError, match="not in fleet"):
+            cluster.migration_to(target)
+
+    def test_apply_move(self):
+        cluster = small_cluster()
+        cluster.apply_move("i0", "d2")
+        assert cluster.layout.disk_of("i0") == "d2"
+        with pytest.raises(ValueError):
+            cluster.apply_move("i0", "ghost")

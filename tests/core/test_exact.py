@@ -1,0 +1,54 @@
+"""Tests for the brute-force exact solver."""
+
+import pytest
+
+from repro.core.exact import MAX_EXACT_ITEMS, exact_optimum, exact_optimum_rounds
+from repro.core.lower_bounds import lower_bound
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import Multigraph
+from tests.conftest import random_instance
+
+
+class TestExact:
+    def test_empty(self):
+        inst = MigrationInstance(Multigraph(nodes=["a"]), {"a": 1})
+        assert exact_optimum(inst).num_rounds == 0
+
+    def test_size_limit(self):
+        inst = random_instance(10, MAX_EXACT_ITEMS + 1, seed=0)
+        with pytest.raises(ValueError):
+            exact_optimum(inst)
+
+    def test_known_odd_cycle(self):
+        inst = MigrationInstance.uniform(
+            [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+        )
+        assert exact_optimum_rounds(inst) == 3
+
+    def test_known_parallel_bundle(self):
+        inst = MigrationInstance.from_moves([("a", "b")] * 6, {"a": 2, "b": 3})
+        assert exact_optimum_rounds(inst) == 3  # ceil(6/2)
+
+    def test_matching_in_one_round(self):
+        inst = MigrationInstance.uniform([("a", "b"), ("c", "d")], capacity=1)
+        assert exact_optimum_rounds(inst) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_at_least_lower_bound(self, seed):
+        inst = random_instance(5, 9, capacity_choices=(1, 2), seed=seed)
+        opt = exact_optimum_rounds(inst)
+        assert opt >= lower_bound(inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_schedule_is_valid(self, seed):
+        inst = random_instance(5, 8, capacity_choices=(1, 2, 3), seed=seed)
+        sched = exact_optimum(inst)
+        sched.validate(inst)
+
+    def test_even_case_matches_lb1(self):
+        # Sanity anchor for Theorem 4.1 on a tiny instance.
+        inst = MigrationInstance.from_moves(
+            [("a", "b"), ("a", "b"), ("a", "c"), ("b", "c")],
+            {"a": 2, "b": 2, "c": 2},
+        )
+        assert exact_optimum_rounds(inst) == inst.delta_prime()

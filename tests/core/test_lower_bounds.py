@@ -1,0 +1,90 @@
+"""Tests for the Section III lower bounds."""
+
+import math
+
+import pytest
+
+from repro.core.lower_bounds import lb1, lb2, lb2_exact, lower_bound, subset_bound
+from repro.core.problem import MigrationInstance
+from tests.conftest import random_instance
+
+
+class TestLB1:
+    def test_simple(self):
+        inst = MigrationInstance.from_moves(
+            [("a", "b"), ("a", "c"), ("a", "d")], {"a": 2, "b": 1, "c": 1, "d": 1}
+        )
+        # a: ceil(3/2) = 2 binds.
+        assert lb1(inst) == 2
+
+    def test_capacity_saturates(self):
+        inst = MigrationInstance.from_moves(
+            [("a", "b")] * 6, {"a": 3, "b": 6}
+        )
+        assert lb1(inst) == 2  # ceil(6/3)
+
+
+class TestSubsetBound:
+    def test_pair_multiplicity(self):
+        inst = MigrationInstance.from_moves([("a", "b")] * 5, {"a": 1, "b": 1})
+        # floor((1+1)/2) = 1 edge per round inside {a, b}.
+        assert subset_bound(inst, ["a", "b"]) == 5
+
+    def test_no_internal_edges(self):
+        inst = MigrationInstance.from_moves([("a", "b")], {"a": 1, "b": 1, "c": 4})
+        assert subset_bound(inst, ["a", "c"]) == 0
+
+    def test_triangle_with_unit_caps(self):
+        inst = MigrationInstance.uniform(
+            [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+        )
+        # 3 edges, floor(3/2) = 1 edge per round -> 3 rounds.
+        assert subset_bound(inst, ["a", "b", "c"]) == 3
+
+
+class TestLB2:
+    def test_exact_beats_lb1_on_odd_cycle(self):
+        inst = MigrationInstance.uniform(
+            [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+        )
+        assert lb1(inst) == 2
+        assert lb2_exact(inst) == 3
+
+    def test_exact_refuses_large_graphs(self):
+        inst = random_instance(20, 30, seed=0)
+        with pytest.raises(ValueError):
+            lb2_exact(inst, max_nodes=16)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_heuristic_never_exceeds_exact(self, seed):
+        inst = random_instance(7, 18, capacity_choices=(1, 2, 3), seed=seed)
+        assert lb2(inst) <= lb2_exact(inst)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_heuristic_finds_pair_hotspots(self, seed):
+        # When the binding set is a node pair the heuristic is exact.
+        inst = MigrationInstance.from_moves(
+            [("hot", "cold")] * (5 + seed), {"hot": 2, "cold": 1}
+        )
+        assert lb2(inst) == lb2_exact(inst) == math.ceil((5 + seed) / 1)
+
+
+class TestLowerBound:
+    def test_takes_max(self):
+        inst = MigrationInstance.uniform(
+            [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+        )
+        assert lower_bound(inst) == 3  # LB2 > LB1 here
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lower_bound_sound_vs_exact_optimum(self, seed):
+        from repro.core.exact import exact_optimum_rounds
+
+        inst = random_instance(5, 9, capacity_choices=(1, 2), seed=seed)
+        assert lower_bound(inst) <= exact_optimum_rounds(inst)
+
+    def test_empty_instance(self):
+        from repro.graphs.multigraph import Multigraph
+
+        inst = MigrationInstance(Multigraph(nodes=["a"]), {"a": 2})
+        assert lower_bound(inst) == 0

@@ -1,0 +1,69 @@
+"""Tests for the public solver facade."""
+
+import pytest
+
+from repro.core.general import GeneralSolverStats
+from repro.core.solver import METHODS, plan_migration
+from tests.conftest import even_instance, random_instance
+
+
+class TestDispatch:
+    def test_auto_picks_even_optimal_for_even_caps(self):
+        inst = even_instance(6, 20, seed=0)
+        sched = plan_migration(inst, method="auto")
+        assert sched.method == "even_optimal"
+        assert sched.num_rounds == inst.delta_prime()
+
+    def test_auto_picks_general_for_odd_caps(self):
+        inst = random_instance(6, 20, capacity_choices=(1, 3), seed=0)
+        sched = plan_migration(inst, method="auto")
+        assert sched.method == "general"
+
+    def test_unknown_method_rejected(self):
+        inst = random_instance(4, 5, seed=0)
+        with pytest.raises(ValueError, match="unknown method"):
+            plan_migration(inst, method="magic")
+
+    @pytest.mark.parametrize("method", [m for m in METHODS if m != "auto"])
+    def test_every_method_returns_valid_schedule(self, method):
+        if method == "even_optimal":
+            inst = even_instance(5, 10, seed=1)
+        elif method == "exact":
+            inst = random_instance(4, 8, seed=1)
+        elif method == "bipartite_optimal":
+            from repro.workloads.generators import bipartite_instance
+
+            inst = bipartite_instance(4, 3, 25, seed=1)
+        elif method == "even_rounding":
+            inst = random_instance(6, 25, capacity_choices=(3, 5), seed=1)
+        else:
+            inst = random_instance(6, 25, seed=1)
+        sched = plan_migration(inst, method=method)
+        sched.validate(inst)
+        assert sched.method == method
+
+    def test_stats_threaded_to_general(self):
+        inst = random_instance(6, 25, capacity_choices=(1, 2), seed=2)
+        stats = GeneralSolverStats()
+        plan_migration(inst, method="general", stats=stats)
+        assert stats.sweeps >= 1
+
+
+class TestOrdering:
+    """The intended quality ordering holds on representative inputs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_general_never_worse_than_greedy_or_saia(self, seed):
+        inst = random_instance(10, 60, capacity_choices=(1, 2, 3, 4), seed=seed)
+        general = plan_migration(inst, method="general").num_rounds
+        greedy = plan_migration(inst, method="greedy").num_rounds
+        saia = plan_migration(inst, method="saia").num_rounds
+        assert general <= greedy
+        assert general <= saia
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heterogeneity_aware_beats_homogeneous_with_capacity(self, seed):
+        inst = random_instance(8, 60, capacity_choices=(4,), seed=seed)
+        hetero = plan_migration(inst, method="auto").num_rounds
+        homo = plan_migration(inst, method="homogeneous").num_rounds
+        assert hetero <= homo

@@ -1,0 +1,102 @@
+"""Tests for the cloning (multicast migration) extension."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError, ScheduleValidationError
+from repro.extensions.cloning import (
+    CloningInstance,
+    best_cloning_schedule,
+    cloning_lower_bound,
+    gossip_schedule,
+    naive_schedule,
+    validate_cloning,
+)
+from repro.workloads.adversarial import replication_fanout
+
+
+def broadcast_instance(fanout: int, capacity: int = 1) -> CloningInstance:
+    nodes = {f"d{i}": capacity for i in range(fanout)}
+    nodes["s"] = capacity
+    return CloningInstance({"x": ("s", {f"d{i}" for i in range(fanout)})}, nodes)
+
+
+class TestInstance:
+    def test_source_excluded_from_destinations(self):
+        inst = CloningInstance({"x": ("s", {"s", "d"})}, {"s": 1, "d": 1})
+        assert inst.items["x"].destinations == frozenset({"d"})
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CloningInstance({"x": ("s", {"s"})}, {"s": 1})
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CloningInstance({"x": ("s", {"d"})}, {"s": 1})
+
+    def test_total_copies(self):
+        inst = replication_fanout(4, fanout=3, num_disks=6)
+        assert inst.total_copies == 12
+
+
+class TestLowerBound:
+    def test_broadcast_bound(self):
+        inst = broadcast_instance(7)
+        assert cloning_lower_bound(inst) >= math.ceil(math.log2(8))
+
+    def test_pressure_bound(self):
+        # 5 items all destined for one capacity-1 disk.
+        inst = CloningInstance(
+            {f"i{k}": (f"s{k}", {"sink"}) for k in range(5)},
+            {**{f"s{k}": 1 for k in range(5)}, "sink": 1},
+        )
+        assert cloning_lower_bound(inst) == 5
+
+
+class TestGossip:
+    @pytest.mark.parametrize("fanout", [1, 3, 7, 15])
+    def test_broadcast_matches_log_bound(self, fanout):
+        inst = broadcast_instance(fanout)
+        rounds = gossip_schedule(inst)
+        assert len(rounds) == math.ceil(math.log2(fanout + 1))
+
+    def test_best_schedule_never_worse_than_naive(self):
+        for fanout in (2, 4, 6):
+            inst = replication_fanout(6, fanout=fanout, num_disks=10, capacity=2)
+            best = best_cloning_schedule(inst)
+            assert len(best) <= len(naive_schedule(inst))
+            validate_cloning(inst, best)
+
+    def test_gossip_wins_big_fanouts(self):
+        inst = broadcast_instance(15)
+        assert len(gossip_schedule(inst)) < len(naive_schedule(inst))
+
+    def test_gossip_at_least_lower_bound(self):
+        inst = replication_fanout(8, fanout=5, num_disks=12, capacity=2)
+        assert len(gossip_schedule(inst)) >= cloning_lower_bound(inst)
+
+    def test_schedules_validate(self):
+        inst = replication_fanout(10, fanout=4, num_disks=8, capacity=3)
+        validate_cloning(inst, gossip_schedule(inst))
+        validate_cloning(inst, naive_schedule(inst))
+
+
+class TestValidator:
+    def test_rejects_sender_without_copy(self):
+        inst = broadcast_instance(2)
+        bogus = [[("x", "d0", "d1")]]  # d0 never received the item
+        with pytest.raises(ScheduleValidationError, match="does not hold"):
+            validate_cloning(inst, bogus)
+
+    def test_rejects_unserved_destination(self):
+        inst = broadcast_instance(2)
+        bogus = [[("x", "s", "d0")]]  # d1 never served
+        with pytest.raises(ScheduleValidationError, match="never reached"):
+            validate_cloning(inst, bogus)
+
+    def test_rejects_capacity_violation(self):
+        inst = broadcast_instance(3)  # all capacities 1
+        bogus = [[("x", "s", "d0"), ("x", "s", "d1")]]
+        with pytest.raises(ScheduleValidationError, match="transfers"):
+            validate_cloning(inst, bogus)

@@ -1,0 +1,104 @@
+"""Tests for the forwarding (helper node) extension."""
+
+import pytest
+
+from repro.core.errors import ScheduleValidationError
+from repro.core.lower_bounds import lb1, lower_bound
+from repro.core.problem import MigrationInstance
+from repro.extensions.indirect import (
+    ForwardingResult,
+    forwarding_schedule,
+    validate_forwarding,
+)
+from repro.workloads.adversarial import odd_cycle_with_helpers
+from tests.conftest import random_instance
+
+
+def triangle_with_helper():
+    return MigrationInstance.from_moves(
+        [("a", "b"), ("b", "c"), ("c", "a")],
+        {"a": 1, "b": 1, "c": 1, "h": 1},
+        extra_nodes=["h"],
+    )
+
+
+class TestClassicHelperWin:
+    def test_triangle_beats_direct(self):
+        """The canonical case: K3 + one helper goes 3 -> 2 rounds."""
+        inst = triangle_with_helper()
+        result = forwarding_schedule(inst)
+        assert result.direct_rounds == 3
+        assert result.num_rounds == 2 == result.lb1
+        assert result.improved
+        assert len(result.forwarded_items) == 1
+
+    def test_without_helper_no_improvement(self):
+        inst = MigrationInstance.uniform(
+            [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+        )
+        result = forwarding_schedule(inst)
+        assert result.num_rounds in (0, 3) or not result.improved
+
+    @pytest.mark.parametrize("multiplicity", [1, 2, 4])
+    def test_odd_cycles_approach_lb1(self, multiplicity):
+        inst = odd_cycle_with_helpers(5, multiplicity, num_helpers=5)
+        result = forwarding_schedule(inst)
+        direct_lb = lower_bound(inst)
+        # Helpers let forwarding beat the density bound when it binds.
+        assert result.num_rounds <= result.direct_rounds
+        if direct_lb > result.lb1:
+            assert result.num_rounds < result.direct_rounds
+
+
+class TestNeverWorse:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_exceeds_direct(self, seed):
+        inst = random_instance(8, 30, capacity_choices=(1, 2), seed=seed)
+        result = forwarding_schedule(inst)
+        if result.rounds:  # completed within the cap
+            assert result.num_rounds <= result.direct_rounds
+            assert result.num_rounds >= result.lb1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_valid(self, seed):
+        inst = random_instance(7, 25, capacity_choices=(1, 3), seed=seed + 50)
+        result = forwarding_schedule(inst)
+        validate_forwarding(inst, result)  # must not raise
+
+
+class TestValidator:
+    def test_catches_teleporting_item(self):
+        inst = triangle_with_helper()
+        eid = inst.graph.edge_ids()[0]  # a -> b
+        bogus = ForwardingResult(
+            rounds=[[(eid, "c", "b")]],  # item is at a, not c
+            forwarded_items=set(),
+            direct_rounds=3,
+            lb1=2,
+        )
+        with pytest.raises(ScheduleValidationError, match="hops from"):
+            validate_forwarding(inst, bogus)
+
+    def test_catches_undelivered_item(self):
+        inst = triangle_with_helper()
+        eid = inst.graph.edge_ids()[0]  # a -> b
+        bogus = ForwardingResult(
+            rounds=[[(eid, "a", "h")]],  # parked on the helper forever
+            forwarded_items={eid},
+            direct_rounds=3,
+            lb1=2,
+        )
+        with pytest.raises(ScheduleValidationError):
+            validate_forwarding(inst, bogus)
+
+    def test_catches_capacity_violation(self):
+        inst = triangle_with_helper()
+        e_ab, e_bc, _e_ca = inst.graph.edge_ids()
+        bogus = ForwardingResult(
+            rounds=[[(e_ab, "a", "b"), (e_bc, "b", "c")]],  # b does 2, c_b=1
+            forwarded_items=set(),
+            direct_rounds=3,
+            lb1=2,
+        )
+        with pytest.raises(ScheduleValidationError, match="transfers"):
+            validate_forwarding(inst, bogus)

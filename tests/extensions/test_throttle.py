@@ -1,0 +1,61 @@
+"""Tests for migration throttling."""
+
+import pytest
+
+from repro.core.lower_bounds import lb1
+from repro.extensions.throttle import (
+    throttle_tradeoff,
+    throttled_capacities,
+    throttled_schedule,
+)
+from repro.workloads.scenarios import vod_rebalance_scenario
+from tests.conftest import random_instance
+
+
+class TestThrottledCapacities:
+    def test_floor_with_unit_floor(self):
+        inst = random_instance(6, 20, capacity_choices=(1, 2, 4), seed=0)
+        caps = throttled_capacities(inst, 0.5)
+        for v, c in inst.capacities.items():
+            assert caps[v] == max(1, c // 2)
+
+    def test_theta_one_is_identity(self):
+        inst = random_instance(6, 20, capacity_choices=(3, 5), seed=1)
+        assert throttled_capacities(inst, 1.0) == inst.capacities
+
+    def test_invalid_theta(self):
+        inst = random_instance(4, 5, seed=0)
+        for theta in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                throttled_capacities(inst, theta)
+
+
+class TestThrottledSchedule:
+    @pytest.mark.parametrize("theta", [1.0, 0.5, 0.25])
+    def test_valid_for_original_instance(self, theta):
+        inst = random_instance(8, 60, capacity_choices=(2, 4, 8), seed=2)
+        sched = throttled_schedule(inst, theta)
+        sched.validate(inst)
+
+    def test_stretch_roughly_inverse_theta(self):
+        inst = random_instance(8, 120, capacity_choices=(4, 8), seed=3)
+        full = throttled_schedule(inst, 1.0).num_rounds
+        half = throttled_schedule(inst, 0.5).num_rounds
+        assert full <= half <= 2 * full + 2
+
+    def test_never_below_true_lower_bound(self):
+        inst = random_instance(8, 60, capacity_choices=(2, 4), seed=4)
+        assert throttled_schedule(inst, 0.5).num_rounds >= lb1(inst)
+
+
+class TestTradeoffCurve:
+    def test_monotone_directions(self):
+        scenario = vod_rebalance_scenario(num_disks=8, num_items=150, seed=6)
+        points = throttle_tradeoff(
+            scenario.cluster, scenario.context, thetas=(1.0, 0.5, 0.25)
+        )
+        assert [p.theta for p in points] == [1.0, 0.5, 0.25]
+        # Throttling can only stretch the migration...
+        assert points[0].rounds <= points[1].rounds <= points[2].rounds
+        # ...and displacement (demand-weighted waiting) grows with it.
+        assert points[0].displacement <= points[2].displacement + 1e-9

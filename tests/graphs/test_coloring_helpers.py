@@ -1,0 +1,53 @@
+"""Tests for coloring helper utilities not covered elsewhere."""
+
+import pytest
+
+from repro.graphs.coloring.base import inherit_palette
+from repro.graphs.coloring.greedy import degree_descending_order, greedy_coloring
+from repro.graphs.multigraph import Multigraph
+
+
+class TestInheritPalette:
+    def test_disjoint_offsets(self):
+        merged = inherit_palette({0: {10: 0, 11: 1}, 1: {20: 0}})
+        assert merged[10] == 0
+        assert merged[11] == 1
+        assert merged[20] == 2  # shifted above part 0's palette
+
+    def test_part_order_is_by_key(self):
+        merged = inherit_palette({1: {20: 0}, 0: {10: 0}})
+        assert merged[10] == 0
+        assert merged[20] == 1
+
+    def test_empty_parts_skipped(self):
+        merged = inherit_palette({0: {}, 1: {5: 0}})
+        assert merged == {5: 0}
+
+
+class TestDegreeDescendingOrder:
+    def test_high_pressure_edges_first(self):
+        g = Multigraph()
+        hub_edges = [g.add_edge("hub", f"x{i}") for i in range(5)]
+        lone = g.add_edge("p", "q")
+        order = degree_descending_order(g)
+        assert order[-1] == lone
+        assert set(order[:5]) == set(hub_edges)
+
+    def test_order_is_usable_by_greedy(self):
+        g = Multigraph()
+        for i in range(4):
+            g.add_edge("hub", f"x{i}")
+        coloring = greedy_coloring(g, order=degree_descending_order(g))
+        assert len(set(coloring.values())) == 4
+
+
+class TestGreedyExplicitOrder:
+    def test_order_changes_palette(self):
+        # A path colored middle-edge-last wastes a color; good order
+        # uses 2 for max degree 2.
+        g = Multigraph()
+        e1 = g.add_edge("a", "b")
+        e2 = g.add_edge("b", "c")
+        e3 = g.add_edge("c", "d")
+        good = greedy_coloring(g, order=[e1, e3, e2])
+        assert len(set(good.values())) == 2

@@ -1,0 +1,101 @@
+"""Tests for the Dinic max-flow implementation."""
+
+import random
+
+import pytest
+
+from repro.graphs.flow import FlowNetwork, edmonds_karp, max_flow
+
+
+class TestBasicFlows:
+    def test_single_edge(self):
+        value, flows = max_flow([("s", "t", 5)], "s", "t")
+        assert value == 5
+        assert flows[0] == 5
+
+    def test_no_path(self):
+        value, _ = max_flow([("s", "a", 5), ("b", "t", 5)], "s", "t")
+        assert value == 0
+
+    def test_series_bottleneck(self):
+        value, _ = max_flow([("s", "a", 7), ("a", "t", 3)], "s", "t")
+        assert value == 3
+
+    def test_parallel_paths(self):
+        edges = [("s", "a", 2), ("a", "t", 2), ("s", "b", 3), ("b", "t", 3)]
+        value, flows = max_flow(edges, "s", "t")
+        assert value == 5
+        assert flows[0] == flows[1] == 2
+        assert flows[2] == flows[3] == 3
+
+    def test_classic_crossing_network(self):
+        # The textbook network where augmenting must use the cross edge.
+        edges = [
+            ("s", "a", 10),
+            ("s", "b", 10),
+            ("a", "b", 1),
+            ("a", "t", 10),
+            ("b", "t", 10),
+        ]
+        value, _ = max_flow(edges, "s", "t")
+        assert value == 20
+
+    def test_zero_capacity_edge(self):
+        value, _ = max_flow([("s", "t", 0)], "s", "t")
+        assert value == 0
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1)
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            net.max_flow("s", "s")
+
+
+class TestConservationAndIntegrality:
+    def test_flow_conservation(self):
+        rng = random.Random(5)
+        nodes = [f"n{i}" for i in range(8)]
+        edges = []
+        for _ in range(30):
+            u, v = rng.sample(nodes, 2)
+            edges.append((u, v, rng.randint(1, 9)))
+        edges.append(("s", nodes[0], 20))
+        edges.append((nodes[-1], "t", 20))
+        value, flows = max_flow(edges, "s", "t")
+        balance = {}
+        for i, (u, v, _c) in enumerate(edges):
+            balance[u] = balance.get(u, 0) - flows[i]
+            balance[v] = balance.get(v, 0) + flows[i]
+        assert balance.pop("s") == -value
+        assert balance.pop("t") == value
+        assert all(b == 0 for b in balance.values())
+
+    def test_flows_are_integral_and_capacity_respecting(self):
+        rng = random.Random(11)
+        nodes = [f"n{i}" for i in range(6)]
+        edges = [("s", nodes[0], 10), (nodes[-1], "t", 10)]
+        for _ in range(25):
+            u, v = rng.sample(nodes, 2)
+            edges.append((u, v, rng.randint(1, 5)))
+        _value, flows = max_flow(edges, "s", "t")
+        for i, (_u, _v, c) in enumerate(edges):
+            assert isinstance(flows[i], int)
+            assert 0 <= flows[i] <= c
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dinic_matches_edmonds_karp(self, seed):
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(7)] + ["s", "t"]
+        edges = []
+        for _ in range(40):
+            u, v = rng.sample(nodes, 2)
+            edges.append((u, v, rng.randint(0, 8)))
+        value, _ = max_flow(edges, "s", "t")
+        assert value == edmonds_karp(edges, "s", "t")

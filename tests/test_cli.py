@@ -1,0 +1,81 @@
+"""Tests for the repro-migrate command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScheduleCommand:
+    def test_schedules_moves_file(self, tmp_path, capsys):
+        moves = tmp_path / "moves.txt"
+        moves.write_text(
+            "# two items a->b, one b->c\n"
+            "a,b\n"
+            "a,b\n"
+            "b,c\n"
+            "cap,a,2\n"
+            "cap,b,2\n"
+        )
+        assert main(["schedule", str(moves)]) == 0
+        out = capsys.readouterr().out
+        assert "rounds=" in out
+        assert "a->b" in out
+
+    def test_bad_line_rejected(self, tmp_path):
+        moves = tmp_path / "moves.txt"
+        moves.write_text("a,b,c,d\n")
+        with pytest.raises(ValueError):
+            main(["schedule", str(moves)])
+
+    def test_method_flag(self, tmp_path, capsys):
+        moves = tmp_path / "moves.txt"
+        moves.write_text("a,b\ncap,a,2\ncap,b,2\n")
+        assert main(["schedule", str(moves), "--method", "even_optimal"]) == 0
+        assert "method=even_optimal" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    @pytest.mark.parametrize("scenario", ["vod", "scale-out", "decommission"])
+    def test_all_scenarios_run(self, scenario, capsys):
+        assert main(["demo", scenario, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds=" in out
+        assert "simulated_time=" in out
+
+
+class TestCompareCommand:
+    def test_prints_table(self, capsys):
+        assert main(["compare", "--disks", "8", "--items", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "general" in out
+        assert "ratio" in out
+
+
+class TestGenerateAndGantt:
+    def test_generate_then_schedule_json(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        assert main(["generate", str(path), "--disks", "6", "--items", "20"]) == 0
+        capsys.readouterr()
+        assert main(["schedule", str(path), "--json"]) == 0
+        assert "rounds=" in capsys.readouterr().out
+
+    def test_gantt(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        main(["generate", str(path), "--disks", "6", "--items", "20"])
+        capsys.readouterr()
+        assert main(["gantt", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "c_v" in out
+        assert "utilization" in out
+
+
+class TestFuzzCommand:
+    def test_short_fuzz(self, capsys):
+        assert main(["fuzz", "--trials", "3", "--seed", "2"]) == 0
+        assert "all cross-checks passed" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,104 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.generators import (
+    bipartite_instance,
+    capacity_mix,
+    clique_instance,
+    hotspot_instance,
+    random_instance,
+    regular_instance,
+)
+
+
+class TestCapacityMix:
+    def test_values_come_from_mix(self):
+        rng = random.Random(0)
+        caps = capacity_mix(list(range(100)), {1: 0.5, 4: 0.5}, rng)
+        assert set(caps.values()) <= {1, 4}
+        assert len(caps) == 100
+
+    def test_fractions_roughly_respected(self):
+        rng = random.Random(0)
+        caps = capacity_mix(list(range(2000)), {1: 0.9, 8: 0.1}, rng)
+        ones = sum(1 for c in caps.values() if c == 1)
+        assert 1600 < ones < 2000
+
+    def test_invalid_mix(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            capacity_mix([1], {2: -1.0}, rng)
+
+
+class TestRandomInstance:
+    def test_shape(self):
+        inst = random_instance(10, 50, seed=1)
+        assert inst.num_disks == 10
+        assert inst.num_items == 50
+
+    def test_deterministic_per_seed(self):
+        a = random_instance(8, 30, seed=7)
+        b = random_instance(8, 30, seed=7)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert a.capacities == b.capacities
+
+    def test_uniform_capacity_shortcut(self):
+        inst = random_instance(6, 10, uniform_capacity=3, seed=0)
+        assert set(inst.capacities.values()) == {3}
+
+    def test_too_few_disks(self):
+        with pytest.raises(ValueError):
+            random_instance(1, 5)
+
+
+class TestCliqueInstance:
+    def test_figure2_shape(self):
+        inst = clique_instance(3, items_per_pair=4, capacity=2)
+        assert inst.num_items == 12
+        assert all(inst.graph.degree(v) == 8 for v in inst.graph.nodes)
+        assert inst.delta_prime() == 4
+
+    def test_pairs_have_exact_multiplicity(self):
+        inst = clique_instance(4, items_per_pair=3)
+        assert inst.graph.max_multiplicity() == 3
+
+
+class TestBipartiteInstance:
+    def test_edges_cross_sides(self):
+        inst = bipartite_instance(3, 2, 20, seed=0)
+        for _eid, u, v in inst.graph.edges():
+            assert u.startswith("old") and v.startswith("new")
+
+    def test_capacity_asymmetry(self):
+        inst = bipartite_instance(2, 2, 5, old_capacity=1, new_capacity=4)
+        assert inst.capacity("old0") == 1
+        assert inst.capacity("new0") == 4
+
+
+class TestHotspotInstance:
+    def test_all_edges_leave_hot_set(self):
+        inst = hotspot_instance(10, num_hot=2, num_items=40, seed=1)
+        hot = {"disk0", "disk1"}
+        for _eid, u, v in inst.graph.edges():
+            assert (u in hot) != (v in hot)
+
+    def test_invalid_hot_count(self):
+        with pytest.raises(ValueError):
+            hotspot_instance(4, num_hot=4, num_items=5)
+
+
+class TestRegularInstance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_degrees_close_to_regular(self, seed):
+        inst = regular_instance(10, degree=6, seed=seed)
+        degrees = [inst.graph.degree(v) for v in inst.graph.nodes]
+        assert max(degrees) <= 6
+        # Configuration model may drop a few stubs; most nodes exact.
+        assert sum(1 for d in degrees if d == 6) >= 6
+
+    def test_parity_check(self):
+        with pytest.raises(ValueError):
+            regular_instance(5, degree=3)

@@ -1,0 +1,48 @@
+"""Tests for the Zipf demand helpers."""
+
+import random
+
+import pytest
+
+from repro.workloads.zipf import sample_by_weight, shuffled_zipf_weights, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(100, alpha=1.0)
+        assert sum(w) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, alpha=0.8)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_alpha_zero_is_uniform(self):
+        w = zipf_weights(10, alpha=0.0)
+        assert all(x == pytest.approx(0.1) for x in w)
+
+    def test_higher_alpha_more_skew(self):
+        mild = zipf_weights(100, alpha=0.5)
+        steep = zipf_weights(100, alpha=1.5)
+        assert steep[0] > mild[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, alpha=-1)
+
+
+class TestShuffled:
+    def test_same_multiset_different_order(self):
+        rng = random.Random(3)
+        base = zipf_weights(40, 1.0)
+        shuffled = shuffled_zipf_weights(40, 1.0, rng)
+        assert sorted(base) == sorted(shuffled)
+        assert base != shuffled  # overwhelmingly likely with n=40
+
+
+class TestSampling:
+    def test_respects_weights_statistically(self):
+        rng = random.Random(0)
+        picks = sample_by_weight(["hot", "cold"], [0.95, 0.05], 1000, rng)
+        assert picks.count("hot") > 800
