@@ -4,14 +4,20 @@ Everything the experiment tables report is computed here:
 rounds, the certified lower bound, the ratio between them (an upper
 bound on the true approximation ratio, since ``LB <= OPT``), and the
 Theorem 5.1 budget ``LB + 2⌈√LB⌉``.
+
+Also consumes the structured JSONL traces written by
+:mod:`repro.runtime.telemetry` (:func:`load_runtime_trace` /
+:func:`summarize_runtime_trace`) — the trace format is plain JSON, so
+this module needs no runtime import and works on archived traces.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import statistics
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.lower_bounds import lb1, lower_bound
 from repro.core.problem import MigrationInstance
@@ -79,6 +85,96 @@ def compare_methods(
         schedule = plan_migration(instance, method=method, seed=seed)
         out[method] = schedule_quality(instance, schedule, precomputed_lb=lb)
     return out
+
+
+@dataclass(frozen=True)
+class RuntimeSummary:
+    """Aggregate view of one supervised run's JSONL trace."""
+
+    completion_time: float
+    rounds: int
+    attempts: int
+    delivered: int
+    failures: Dict[str, int]
+    retries: int
+    defers: int
+    replans: int
+    stranded: int
+    crashes: int
+    finished: bool
+
+    @property
+    def failed(self) -> int:
+        return sum(self.failures.values())
+
+    @property
+    def goodput(self) -> float:
+        """Delivered transfers per attempted transfer (1.0 = no waste)."""
+        return self.delivered / self.attempts if self.attempts else 1.0
+
+
+def load_runtime_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a runtime JSONL trace back into records."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_runtime_trace(records: Sequence[Mapping[str, Any]]) -> RuntimeSummary:
+    """Fold a runtime trace into the headline numbers.
+
+    Works on a full trace or on the concatenation a resumed run
+    appends to — records are folded, not assumed contiguous.
+    """
+    attempts = delivered = retries = defers = replans = 0
+    stranded = crashes = rounds = 0
+    failures: Dict[str, int] = {}
+    completion_time = 0.0
+    finished = False
+    for record in records:
+        completion_time = max(completion_time, float(record.get("t", 0.0)))
+        kind = record.get("type")
+        if kind == "transfer":
+            attempts += 1
+            if record.get("outcome") == "done":
+                delivered += 1
+            else:
+                reason = record.get("reason", "unknown")
+                failures[reason] = failures.get(reason, 0) + 1
+                action = record.get("action")
+                if action == "retry":
+                    retries += 1
+                elif action == "defer":
+                    defers += 1
+        elif kind == "delivered_in_place":
+            delivered += 1
+        elif kind == "round_completed":
+            rounds += 1
+        elif kind == "replanned":
+            replans += 1
+        elif kind == "stranded":
+            stranded += 1
+        elif kind == "disk_crashed":
+            crashes += 1
+        elif kind == "run_completed":
+            finished = True
+    return RuntimeSummary(
+        completion_time=completion_time,
+        rounds=rounds,
+        attempts=attempts,
+        delivered=delivered,
+        failures={k: failures[k] for k in sorted(failures)},
+        retries=retries,
+        defers=defers,
+        replans=replans,
+        stranded=stranded,
+        crashes=crashes,
+        finished=finished,
+    )
 
 
 def summarize_ratios(qualities: Iterable[ScheduleQuality]) -> Dict[str, float]:

@@ -4,7 +4,11 @@ Subcommands:
 
 * ``schedule`` — read moves from a CSV-ish file (``src,dst`` per line)
   plus capacities, or a JSON instance (``--json``), print the schedule.
-* ``demo`` — run a named scenario end-to-end through the simulator.
+* ``demo`` — run a named scenario end-to-end through the simulator
+  (``--list`` enumerates the scenarios).
+* ``run`` — supervised execution of a scenario through
+  :mod:`repro.runtime`: fault injection, retry/replan policy, JSONL
+  tracing, and checkpointing (``--checkpoint`` resumes a killed run).
 * ``compare`` — run all schedulers on a generated workload and print
   the comparison table.
 * ``generate`` — write a generated workload to a JSON instance file
@@ -86,8 +90,32 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scenarios() -> None:
+    print("available scenarios:")
+    for name in sorted(_SCENARIOS):
+        print(f"  {name:15s} {_SCENARIOS[name].__doc__.strip().splitlines()[0]}")
+
+
+def _resolve_scenario(args: argparse.Namespace) -> Optional[str]:
+    """Shared ``demo``/``run`` scenario handling; None means 'bail'."""
+    if getattr(args, "list", False):
+        _print_scenarios()
+        return None
+    if args.scenario is None:
+        print("a scenario name is required (or use --list)", file=sys.stderr)
+        return None
+    if args.scenario not in _SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        _print_scenarios()
+        return None
+    return args.scenario
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
-    scenario = _SCENARIOS[args.scenario](seed=args.seed)
+    name = _resolve_scenario(args)
+    if name is None:
+        return 0 if args.list else 2
+    scenario = _SCENARIOS[name](seed=args.seed)
     instance = scenario.instance
     schedule = plan_migration(instance, method=args.method)
     engine = MigrationEngine(scenario.cluster, time_model=args.time_model)
@@ -100,6 +128,143 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"rounds={schedule.num_rounds} simulated_time={report.total_time:.2f} "
         f"migrated={len(report.migrated_items)}"
     )
+    return 0
+
+
+def _parse_crash(spec: str):
+    from repro.runtime import DiskCrash
+
+    try:
+        disk_id, at_time = spec.rsplit(":", 1)
+        return DiskCrash(disk_id=disk_id, at_time=float(at_time))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"crash spec {spec!r} is not DISK:TIME"
+        ) from exc
+
+
+def _parse_partition(spec: str):
+    from repro.runtime import NetworkPartition
+
+    try:
+        start, end, group = spec.split(":", 2)
+        return NetworkPartition(
+            start=float(start),
+            end=float(end),
+            group=tuple(g.strip() for g in group.split(",") if g.strip()),
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {spec!r} is not START:END:DISK[,DISK...]"
+        ) from exc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runtime import (
+        CheckpointError,
+        FaultPlan,
+        JsonlTraceWriter,
+        MigrationExecutor,
+        RetryPolicy,
+        load_checkpoint,
+        restore_executor,
+        save_checkpoint,
+    )
+
+    name = _resolve_scenario(args)
+    if name is None:
+        return 0 if args.list else 2
+    try:
+        faults = FaultPlan(
+            transfer_failure_rate=args.fault_rate,
+            crashes=tuple(args.crash),
+            partitions=tuple(args.partition),
+        )
+        policy = RetryPolicy(
+            max_retries=args.max_retries,
+            max_defers=args.max_defers,
+            transfer_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"invalid run configuration: {exc}", file=sys.stderr)
+        return 2
+    config = {
+        "scenario": name,
+        "seed": args.seed,
+        "method": args.method,
+        "time_model": args.time_model,
+        "faults": faults.to_json(),
+        "max_retries": args.max_retries,
+        "max_defers": args.max_defers,
+        "timeout": args.timeout,
+    }
+    resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
+    scenario = _SCENARIOS[name](seed=args.seed)
+    trace = JsonlTraceWriter(args.trace, append=resuming) if args.trace else None
+
+    if resuming:
+        try:
+            saved_config, state = load_checkpoint(args.checkpoint)
+            if saved_config != config:
+                print(
+                    f"checkpoint {args.checkpoint} was written by a different run "
+                    f"configuration; refusing to resume", file=sys.stderr,
+                )
+                return 2
+            executor = restore_executor(
+                scenario.cluster, state, faults=faults, policy=policy,
+                time_model=args.time_model, method=args.method,
+                seed=args.seed, trace=trace,
+            )
+        except CheckpointError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed from {args.checkpoint} at round {executor.rounds_executed}")
+    else:
+        schedule = plan_migration(scenario.instance, method=args.method, seed=args.seed)
+        executor = MigrationExecutor(
+            scenario.cluster, scenario.context, schedule,
+            faults=faults, policy=policy, time_model=args.time_model,
+            method=args.method, seed=args.seed, trace=trace,
+        )
+
+    remaining = args.max_rounds
+    while True:
+        chunk = args.checkpoint_every if args.checkpoint else None
+        if remaining is not None:
+            chunk = min(chunk, remaining) if chunk is not None else remaining
+        before = executor.rounds_executed
+        report = executor.run(max_rounds=chunk)
+        if args.checkpoint:
+            save_checkpoint(args.checkpoint, executor, config=config)
+        ran = executor.rounds_executed - before
+        if remaining is not None:
+            remaining -= ran
+        if report.finished or (remaining is not None and remaining <= 0):
+            break
+        if chunk is None or ran == 0:
+            break
+    if trace is not None:
+        trace.close()
+
+    counters = report.telemetry.counters
+    print(
+        f"scenario={name} moves={len(report.delivered) + len(report.stranded) + len(executor.pending_items)} "
+        f"method={args.method} seed={args.seed}"
+    )
+    print(
+        f"rounds={report.rounds_executed} simulated_time={report.total_time:.2f} "
+        f"delivered={len(report.delivered)} stranded={len(report.stranded)} "
+        f"retries={counters.get('retries', 0)} replans={report.replans}"
+    )
+    if args.checkpoint:
+        print(f"checkpoint={args.checkpoint}")
+    if not report.finished:
+        print(f"paused with {len(executor.pending_items)} transfers pending; "
+              f"re-run with --checkpoint to resume")
+        return 3
     return 0
 
 
@@ -173,11 +338,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.set_defaults(func=_cmd_generate)
 
     p_demo = sub.add_parser("demo", help="run a named scenario in the simulator")
-    p_demo.add_argument("scenario", choices=sorted(_SCENARIOS))
+    p_demo.add_argument("scenario", nargs="?", default=None)
+    p_demo.add_argument("--list", action="store_true",
+                        help="list available scenarios and exit")
     p_demo.add_argument("--method", choices=METHODS, default="auto")
     p_demo.add_argument("--time-model", choices=("unit", "bandwidth_split"), default="bandwidth_split")
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_run = sub.add_parser(
+        "run",
+        help="supervised, fault-tolerant scenario execution (repro.runtime)",
+    )
+    p_run.add_argument("scenario", nargs="?", default=None)
+    p_run.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    p_run.add_argument("--method", choices=METHODS, default="auto")
+    p_run.add_argument("--time-model", choices=("unit", "bandwidth_split"),
+                       default="bandwidth_split")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--fault-rate", type=float, default=0.0,
+                       help="per-transfer failure probability in [0, 1)")
+    p_run.add_argument("--crash", type=_parse_crash, action="append", default=[],
+                       metavar="DISK:TIME",
+                       help="crash DISK at simulated TIME (repeatable)")
+    p_run.add_argument("--partition", type=_parse_partition, action="append",
+                       default=[], metavar="START:END:DISK[,DISK...]",
+                       help="sever DISK group from the rest during [START, END) "
+                            "(repeatable)")
+    p_run.add_argument("--max-retries", type=int, default=3)
+    p_run.add_argument("--max-defers", type=int, default=1)
+    p_run.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt simulated-time budget")
+    p_run.add_argument("--checkpoint", metavar="PATH",
+                       help="checkpoint file; resumes if it already exists")
+    p_run.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                       help="checkpoint every N rounds (default 1)")
+    p_run.add_argument("--max-rounds", type=int, default=None, metavar="N",
+                       help="execute at most N rounds this invocation, then "
+                            "checkpoint and exit with status 3")
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="write a JSONL trace (appends when resuming)")
+    p_run.set_defaults(func=_cmd_run)
 
     p_gantt = sub.add_parser("gantt", help="render a schedule Gantt chart")
     p_gantt.add_argument("instance", help="JSON instance (see `generate`)")

@@ -71,9 +71,13 @@ def bipartite_coloring(graph: Multigraph) -> Dict[EdgeId, int]:
         else:
             edges.append((v, u, eid))
 
-    # Pad to equal-size sides with fresh dummy nodes.
-    lefts = list(left)
-    rights = list(right)
+    # Pad to equal-size sides with fresh dummy nodes.  Sides come back
+    # as sets; sort them so the regularization wiring (and hence the
+    # peeled matchings) is identical across processes regardless of
+    # hash randomization — schedules must be reproducible byte for
+    # byte from a seed alone.
+    lefts = sorted(left, key=repr)
+    rights = sorted(right, key=repr)
     fresh = count()
     while len(lefts) < len(rights):
         lefts.append(("__pad_left__", next(fresh)))

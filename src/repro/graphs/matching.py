@@ -80,8 +80,10 @@ def maximum_bipartite_matching(
     """
     net = FlowNetwork()
     source, sink = ("__source__",), ("__sink__",)
-    lefts = {u for u, _ in edges}
-    rights = {v for _, v in edges}
+    # Sorted so network construction (and thus the returned matching)
+    # does not depend on hash randomization.
+    lefts = sorted({u for u, _ in edges}, key=repr)
+    rights = sorted({v for _, v in edges}, key=repr)
     for left in lefts:
         net.add_edge(source, ("L", left), 1)
     for right in rights:

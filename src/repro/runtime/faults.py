@@ -1,0 +1,122 @@
+"""Pluggable fault injection for runtime executions.
+
+Three fault families, all deterministic under a seeded RNG:
+
+* **transfer faults** — each attempted transfer independently fails
+  with probability ``transfer_failure_rate`` (one RNG draw per
+  attempt, in round order, so a seed fully determines the outcome
+  sequence);
+* **disk crashes** — a disk leaves the fleet once simulated time
+  reaches ``at_time``; its stored items become unrecoverable sources
+  and pending moves targeting it must be re-aimed (the executor
+  replans);
+* **network partitions** — during ``[start, end)`` transfers crossing
+  between ``group`` and the rest of the fleet fail transiently; the
+  transfer itself is healthy and succeeds once retried after the
+  partition heals.
+
+The :class:`FaultPlan` is plain data (JSON round-trippable so the CLI
+can embed it in checkpoints and refuse to resume under a different
+fault configuration); :class:`FaultInjector` is the tiny amount of
+behaviour on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.cluster.disk import DiskId
+
+
+@dataclass(frozen=True)
+class DiskCrash:
+    """Disk ``disk_id`` fails permanently at simulated time ``at_time``."""
+
+    disk_id: DiskId
+    at_time: float
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A transient split: ``group`` vs. everyone else during ``[start, end)``."""
+
+    start: float
+    end: float
+    group: Tuple[DiskId, ...]
+
+    def severs(self, u: DiskId, v: DiskId, now: float) -> bool:
+        """Does this partition block a ``u -> v`` transfer at ``now``?"""
+        if not self.start <= now < self.end:
+            return False
+        members = set(self.group)
+        return (u in members) != (v in members)
+
+
+@dataclass
+class FaultPlan:
+    """Everything that can go wrong during a run, as plain data."""
+
+    transfer_failure_rate: float = 0.0
+    crashes: Tuple[DiskCrash, ...] = ()
+    partitions: Tuple[NetworkPartition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transfer_failure_rate < 1.0:
+            raise ValueError(
+                f"transfer_failure_rate must be in [0, 1), "
+                f"got {self.transfer_failure_rate}"
+            )
+        self.crashes = tuple(self.crashes)
+        self.partitions = tuple(self.partitions)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "transfer_failure_rate": self.transfer_failure_rate,
+            "crashes": [[c.disk_id, c.at_time] for c in self.crashes],
+            "partitions": [
+                [p.start, p.end, list(p.group)] for p in self.partitions
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            transfer_failure_rate=data.get("transfer_failure_rate", 0.0),
+            crashes=tuple(
+                DiskCrash(disk_id=d, at_time=t) for d, t in data.get("crashes", [])
+            ),
+            partitions=tuple(
+                NetworkPartition(start=s, end=e, group=tuple(g))
+                for s, e, g in data.get("partitions", [])
+            ),
+        )
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` during execution.
+
+    The injector is stateless; the executor owns the RNG (so its state
+    can be checkpointed) and the already-triggered crash set.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def transfer_fails(self, rng, now: float) -> bool:
+        """One seeded draw per attempted transfer; order defines the run."""
+        if self.plan.transfer_failure_rate <= 0.0:
+            return False
+        return rng.random() < self.plan.transfer_failure_rate
+
+    def severed(self, u: DiskId, v: DiskId, now: float) -> bool:
+        return any(p.severs(u, v, now) for p in self.plan.partitions)
+
+    def due_crashes(self, now: float, triggered: Set[DiskId]) -> List[DiskCrash]:
+        """Crashes whose time has come, in plan order, not yet fired."""
+        return [
+            c
+            for c in self.plan.crashes
+            if c.at_time <= now and c.disk_id not in triggered
+        ]

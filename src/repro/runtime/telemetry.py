@@ -1,0 +1,135 @@
+"""Runtime telemetry: counters, per-round timings, JSONL traces.
+
+The executor reports what happened through three channels:
+
+* the :class:`~repro.cluster.events.EventLog` (typed events, reused so
+  Gantt rendering and existing metrics work unchanged);
+* a :class:`RuntimeTelemetry` aggregate — named counters plus one
+  record per executed round — that is part of the checkpoint, so
+  resumed runs keep accumulating the same totals;
+* an optional :class:`JsonlTraceWriter` — one JSON object per line,
+  keys sorted, suitable for offline analysis via
+  :func:`repro.analysis.metrics.summarize_runtime_trace`.
+
+Telemetry is deliberately dumb: it never influences execution, so a
+run with tracing disabled is bit-for-bit identical to one with it on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class RuntimeTelemetry:
+    """Named counters and per-round timing records.
+
+    Counter names are free-form; the executor uses
+    ``transfers_attempted``, ``transfers_succeeded``,
+    ``transfers_failed``, ``failures_fault`` / ``failures_partition``
+    / ``failures_timeout``, ``retries``, ``defers``, ``escalations``,
+    ``replans``, ``disk_crashes``, ``items_stranded`` and
+    ``items_retargeted_in_place``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._rounds: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def record_round(
+        self,
+        round_index: int,
+        start: float,
+        duration: float,
+        attempted: int,
+        succeeded: int,
+        failed: int,
+    ) -> None:
+        self._rounds.append(
+            {
+                "round": round_index,
+                "start": start,
+                "duration": duration,
+                "attempted": attempted,
+                "succeeded": succeeded,
+                "failed": failed,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counters in name order (deterministic)."""
+        return {k: self._counters[k] for k in sorted(self._counters)}
+
+    @property
+    def rounds(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._rounds]
+
+    def totals(self) -> Dict[str, Any]:
+        """The comparison-stable summary of a run.
+
+        Two runs of the same seeded configuration — interrupted/resumed
+        or not — must produce equal ``totals()``.
+        """
+        return {
+            "counters": self.counters,
+            "rounds_executed": len(self._rounds),
+            "total_duration": sum(r["duration"] for r in self._rounds),
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, Any]:
+        return {"counters": self.counters, "rounds": self.rounds}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "RuntimeTelemetry":
+        telemetry = cls()
+        telemetry._counters = dict(state.get("counters", {}))
+        telemetry._rounds = [dict(r) for r in state.get("rounds", [])]
+        return telemetry
+
+
+class JsonlTraceWriter:
+    """Structured trace: one sorted-key JSON object per line.
+
+    Every record carries at least ``type`` and ``t`` (simulated time).
+    The writer appends when resuming from a checkpoint so the combined
+    file covers the whole logical run.
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = str(path)
+        self._handle = open(self.path, "a" if append else "w")
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(dict(record), sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of records."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -146,6 +146,79 @@ class TestFailureInjection:
             cluster.layout.disk_of(i) == "d0" for i in report.migrated_items
         )
 
+    def test_failure_on_last_round_needs_no_replan(self):
+        """Nothing is pending after the final round: the disk failure
+        costs nothing and no replan happens."""
+        cluster, target = figure2_cluster(4, transfer_limit=1)
+        ctx = cluster.migration_to(target)
+        sched = plan_migration(ctx.instance)
+        engine = MigrationEngine(cluster, time_model="unit")
+        report = engine.execute_with_replan(
+            ctx,
+            sched,
+            fail_after_round=sched.num_rounds - 1,
+            failed_disk="a",
+            planner=lambda inst: plan_migration(inst),
+        )
+        assert report.replans == 0
+        assert report.stranded_items == []
+        assert len(report.migrated_items) == ctx.num_moves
+        assert report.rounds_executed == sched.num_rounds
+        for item_id in target.items:
+            assert cluster.layout.disk_of(item_id) == target.disk_of(item_id)
+
+    def test_failure_of_uninvolved_disk_strands_nothing(self):
+        """A disk with zero remaining transfers dies: the replan simply
+        finishes the interrupted schedule with the original targets."""
+        disks = [Disk(disk_id=f"d{i}", transfer_limit=1) for i in range(4)]
+        items = [DataItem(item_id=f"i{k}") for k in range(4)]
+        layout = Layout({f"i{k}": "d0" for k in range(4)})
+        # d3 holds nothing and is neither source nor target of any move.
+        target = Layout({f"i{k}": ("d1" if k % 2 else "d2") for k in range(4)})
+        cluster = StorageCluster(disks=disks, items=items, layout=layout)
+        ctx = cluster.migration_to(target)
+        sched = plan_migration(ctx.instance)
+        assert sched.num_rounds > 1
+        engine = MigrationEngine(cluster, time_model="unit")
+        report = engine.execute_with_replan(
+            ctx,
+            sched,
+            fail_after_round=0,
+            failed_disk="d3",
+            planner=lambda inst: plan_migration(inst),
+        )
+        assert report.stranded_items == []
+        assert sorted(report.migrated_items) == sorted(layout.items)
+        assert report.replans == 1  # the abort still re-schedules the rest
+        for item_id in target.items:
+            assert cluster.layout.disk_of(item_id) == target.disk_of(item_id)
+
+    def test_stranded_reporting_is_exact_and_duplicate_free(self):
+        """Stranded == items still sourced on the failed disk, once each."""
+        disks = [Disk(disk_id=f"d{i}", transfer_limit=2) for i in range(3)]
+        items = [DataItem(item_id=f"i{k}") for k in range(6)]
+        layout = Layout(
+            {f"i{k}": ("d0" if k < 4 else "d1") for k in range(6)}
+        )
+        target = Layout({f"i{k}": "d2" for k in range(6)})
+        cluster = StorageCluster(disks=disks, items=items, layout=layout)
+        ctx = cluster.migration_to(target)
+        sched = plan_migration(ctx.instance)
+        engine = MigrationEngine(cluster, time_model="unit")
+        report = engine.execute_with_replan(
+            ctx,
+            sched,
+            fail_after_round=0,
+            failed_disk="d0",
+            planner=lambda inst: plan_migration(inst),
+        )
+        assert len(report.stranded_items) == len(set(report.stranded_items))
+        for item_id in report.stranded_items:
+            assert cluster.layout.disk_of(item_id) == "d0"
+        # Conservation: every move is migrated or stranded, never both.
+        assert not set(report.migrated_items) & set(report.stranded_items)
+        assert len(report.migrated_items) + len(report.stranded_items) == ctx.num_moves
+
     def test_replan_reports_lost_items_from_failed_source(self):
         disks = [Disk(disk_id=f"d{i}", transfer_limit=1) for i in range(2)]
         items = [DataItem(item_id=f"i{k}") for k in range(4)]

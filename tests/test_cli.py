@@ -43,6 +43,97 @@ class TestDemoCommand:
         assert "simulated_time=" in out
 
 
+class TestDemoListing:
+    def test_list_flag_enumerates_scenarios(self, capsys):
+        assert main(["demo", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "available scenarios:" in out
+        for name in ("vod", "scale-out", "decommission", "sensor-harvest"):
+            assert name in out
+
+    def test_unknown_scenario_lists_and_fails(self, capsys):
+        assert main(["demo", "warp-drive"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+        assert "available scenarios:" in captured.out
+
+    def test_missing_scenario_fails(self, capsys):
+        assert main(["demo"]) == 2
+        assert "scenario name is required" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_fault_free_run(self, capsys):
+        assert main(["run", "decommission", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered=90" in out
+        assert "stranded=0" in out
+
+    def test_list_flag(self, capsys):
+        assert main(["run", "--list"]) == 0
+        assert "available scenarios:" in capsys.readouterr().out
+
+    def test_run_with_faults_and_crash(self, capsys):
+        assert main([
+            "run", "decommission", "--seed", "1",
+            "--fault-rate", "0.15", "--crash", "new-2:5.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replans=" in out
+        assert "retries=" in out
+
+    def test_bad_crash_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "decommission", "--crash", "nonsense"])
+
+    def test_trace_written(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "run", "decommission", "--seed", "1", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        from repro.analysis.metrics import load_runtime_trace, summarize_runtime_trace
+
+        summary = summarize_runtime_trace(load_runtime_trace(str(trace)))
+        assert summary.finished
+        assert summary.delivered == 90
+
+    def test_checkpoint_pause_and_resume(self, tmp_path, capsys):
+        """Kill a run mid-flight via --max-rounds, resume, and match the
+        uninterrupted run's headline numbers exactly."""
+        args = ["run", "decommission", "--seed", "1", "--fault-rate", "0.15"]
+        assert main(args) == 0
+        uninterrupted = capsys.readouterr().out.splitlines()[-1]
+
+        ckpt = tmp_path / "run.ckpt"
+        paused = main(args + ["--checkpoint", str(ckpt), "--max-rounds", "5"])
+        captured = capsys.readouterr()
+        assert paused == 3
+        assert "paused" in captured.out
+        assert ckpt.exists()
+
+        assert main(args + ["--checkpoint", str(ckpt)]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed from" in resumed_out
+        resumed = [
+            line for line in resumed_out.splitlines() if line.startswith("rounds=")
+        ][-1]
+        assert resumed == uninterrupted
+
+    def test_resume_refuses_different_config(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "run", "decommission", "--seed", "1", "--fault-rate", "0.15",
+            "--checkpoint", str(ckpt), "--max-rounds", "2",
+        ]) == 3
+        capsys.readouterr()
+        assert main([
+            "run", "decommission", "--seed", "1", "--fault-rate", "0.3",
+            "--checkpoint", str(ckpt),
+        ]) == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+
 class TestCompareCommand:
     def test_prints_table(self, capsys):
         assert main(["compare", "--disks", "8", "--items", "40"]) == 0
