@@ -1,0 +1,62 @@
+"""repro.checks — independent correctness tooling for the migration stack.
+
+Three pillars, one theme: *don't trust the solver, check it*.
+
+* :mod:`repro.checks.lints` — a determinism linter (custom AST pass)
+  that flags hash-order-dependent iteration, unseeded randomness, and
+  wall-clock reads in schedule-producing modules.
+* :mod:`repro.checks.certify` — an independent schedule verifier and
+  machine-checkable LB1/LB2 lower-bound certificates.
+* :mod:`repro.checks.hashseed` — a cross-``PYTHONHASHSEED`` subprocess
+  harness proving schedules and executor runs are process-independent.
+
+All three are wired into ``repro-migrate check`` and the CI
+``static-analysis`` job.
+"""
+
+from repro.checks.astwalk import Finding, parse_suppressions
+from repro.checks.certify import (
+    CertificationError,
+    CertificationReport,
+    LB1Witness,
+    LB2Witness,
+    LowerBoundCertificate,
+    certificate_from_json,
+    certificate_to_json,
+    certify,
+    make_certificate,
+    verify_certificate,
+    verify_schedule,
+)
+from repro.checks.hashseed import (
+    DeterminismError,
+    DeterminismReport,
+    check_determinism,
+)
+from repro.checks.lints import RULES, LintConfig, LintReport, lint_tree
+from repro.checks.typegate import TypeGateReport, run_type_gate
+
+__all__ = [
+    "CertificationError",
+    "CertificationReport",
+    "DeterminismError",
+    "DeterminismReport",
+    "Finding",
+    "LB1Witness",
+    "LB2Witness",
+    "LintConfig",
+    "LintReport",
+    "LowerBoundCertificate",
+    "RULES",
+    "TypeGateReport",
+    "certificate_from_json",
+    "certificate_to_json",
+    "certify",
+    "check_determinism",
+    "lint_tree",
+    "make_certificate",
+    "parse_suppressions",
+    "run_type_gate",
+    "verify_certificate",
+    "verify_schedule",
+]

@@ -1,0 +1,322 @@
+"""AST infrastructure shared by the determinism lints.
+
+The linter (:mod:`repro.checks.lints`) needs three capabilities that
+plain ``ast.walk`` does not provide:
+
+* **suppression parsing** — the ``# repro: allow-<rule>`` inline syntax
+  that downgrades a finding into an acknowledged exception;
+* **set-typedness inference** — a conservative, flow-insensitive
+  analysis that decides whether an expression evaluates to a raw
+  ``set``/``frozenset`` (whose iteration order depends on
+  ``PYTHONHASHSEED`` for str-keyed contents);
+* **a cross-file symbol table** — return annotations are harvested from
+  *every* file under the linted root first, so ``graph.neighbors(v)``
+  is known to be set-typed at a call site in a different module.
+
+The inference is deliberately heuristic: it trades soundness for a
+near-zero false-positive rate on this codebase, and every residual
+false positive is suppressible with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Names that denote set types in annotations (builtins and typing).
+SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+#: Method names that (on a set receiver) return a new set.  Treated as
+#: set-returning regardless of receiver type — the collision risk with
+#: non-set APIs is negligible in practice and suppressible otherwise.
+SET_METHOD_NAMES = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Tuple type names recognized when unpacking annotated returns.
+_TUPLE_TYPE_NAMES = frozenset({"tuple", "Tuple"})
+
+_SUPPRESS_MARKER = re.compile(r"#\s*repro:\s*(.*)$")
+_SUPPRESS_RULE = re.compile(r"allow-([a-z][a-z0-9-]*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter finding, ordered for stable reporting."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number (1-based) to the rule names suppressed there.
+
+    Grammar: ``# repro: allow-<rule>[, allow-<rule> ...]``.  A trailing
+    comment suppresses its own line; a standalone comment line (nothing
+    but the comment) also suppresses the following line, for statements
+    too long to carry a trailing comment.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_MARKER.search(raw)
+        if not match:
+            continue
+        rules = set(_SUPPRESS_RULE.findall(match.group(1)))
+        if not rules:
+            continue
+        suppressions.setdefault(lineno, set()).update(rules)
+        if raw.split("#", 1)[0].strip() == "":  # standalone comment line
+            suppressions.setdefault(lineno + 1, set()).update(rules)
+    return suppressions
+
+
+# ----------------------------------------------------------------------
+# annotation analysis
+# ----------------------------------------------------------------------
+
+def _annotation_ast(node: Optional[ast.expr]) -> Optional[ast.expr]:
+    """Resolve string ("forward reference") annotations to their AST."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return None
+        return parsed.body
+    return node
+
+
+def annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """True when the annotation denotes a set type (``Set[...]`` etc.)."""
+    node = _annotation_ast(node)
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in SET_TYPE_NAMES
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: Set[int] | None.
+        return annotation_is_set(node.left) or annotation_is_set(node.right)
+    return False
+
+
+def annotation_tuple_mask(node: Optional[ast.expr]) -> Optional[Tuple[bool, ...]]:
+    """For ``Tuple[A, B, ...]`` annotations, per-element set-typedness.
+
+    Returns None when the annotation is not a fixed-arity tuple.
+    """
+    node = _annotation_ast(node)
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = node.value
+    base_name = (
+        base.id if isinstance(base, ast.Name)
+        else base.attr if isinstance(base, ast.Attribute)
+        else None
+    )
+    if base_name not in _TUPLE_TYPE_NAMES:
+        return None
+    elts = node.slice.elts if isinstance(node.slice, ast.Tuple) else None
+    if elts is None:
+        return None
+    if any(isinstance(e, ast.Constant) and e.value is Ellipsis for e in elts):
+        return None
+    return tuple(annotation_is_set(e) for e in elts)
+
+
+# ----------------------------------------------------------------------
+# cross-file symbol table
+# ----------------------------------------------------------------------
+
+@dataclass
+class SymbolTable:
+    """Names whose call/attribute use is known set-typed.
+
+    Matching is by *name only* (functions and methods alike): precise
+    enough for a lint, and wrong matches are suppressible.
+    """
+
+    set_returning: Set[str] = field(default_factory=set)
+    tuple_returning: Dict[str, Tuple[bool, ...]] = field(default_factory=dict)
+    set_attributes: Set[str] = field(default_factory=set)
+
+
+def collect_symbols(trees: Sequence[Tuple[str, ast.Module]]) -> SymbolTable:
+    """Pass 1: harvest set-returning callables and set-typed attributes.
+
+    A name annotated set-typed in one place but non-set elsewhere (e.g.
+    an ``nodes: Set[Node]`` dataclass field vs. a ``nodes`` property
+    returning ``List[Node]``) is *ambiguous*; ambiguous names are
+    dropped entirely — a missed finding beats a false positive here.
+    """
+    table = SymbolTable()
+    nonset_names: Set[str] = set()
+    for _path, tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if annotation_is_set(node.returns):
+                    table.set_returning.add(node.name)
+                elif node.returns is not None:
+                    nonset_names.add(node.name)
+                mask = annotation_tuple_mask(node.returns)
+                if mask is not None and any(mask):
+                    table.tuple_returning[node.name] = mask
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                name = (
+                    target.attr if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name)
+                    else None
+                )
+                if name is None:
+                    continue
+                if annotation_is_set(node.annotation):
+                    table.set_attributes.add(name)
+                else:
+                    nonset_names.add(name)
+    table.set_returning -= nonset_names
+    table.set_attributes -= nonset_names
+    return table
+
+
+# ----------------------------------------------------------------------
+# set-typedness inference
+# ----------------------------------------------------------------------
+
+class SetTypeInference:
+    """Flow-insensitive set-typedness for one lexical scope.
+
+    ``known`` holds local names bound to set-typed values; attribute
+    reads consult the cross-file :class:`SymbolTable`.
+    """
+
+    def __init__(self, symbols: SymbolTable, known: Optional[Set[str]] = None):
+        self.symbols = symbols
+        self.known: Set[str] = set(known or ())
+
+    def child(self) -> "SetTypeInference":
+        """A nested scope seeded with this scope's names (closure reads)."""
+        return SetTypeInference(self.symbols, set(self.known))
+
+    # -- scope seeding -------------------------------------------------
+    def seed_from_args(self, args: ast.arguments) -> None:
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            if annotation_is_set(arg.annotation):
+                self.known.add(arg.arg)
+
+    def seed_from_body(self, body: Sequence[ast.stmt]) -> None:
+        """Fixpoint over assignments (3 rounds cover chained aliases)."""
+        statements = list(_iter_scope_statements(body))
+        for _ in range(3):
+            before = len(self.known)
+            for stmt in statements:
+                self._seed_statement(stmt)
+            if len(self.known) == before:
+                break
+
+    def _seed_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._seed_target(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if annotation_is_set(stmt.annotation):
+                self.known.add(stmt.target.id)
+            elif stmt.value is not None and self.is_set(stmt.value):
+                self.known.add(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            if self.is_set(stmt.value) and isinstance(stmt.op, (ast.BitOr, ast.BitAnd, ast.BitXor)):
+                self.known.add(stmt.target.id)
+
+    def _seed_target(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if self.is_set(value):
+                self.known.add(target.id)
+        elif isinstance(target, ast.Tuple) and isinstance(value, ast.Call):
+            mask = self._call_tuple_mask(value)
+            if mask is not None and len(mask) == len(target.elts):
+                for element, is_set in zip(target.elts, mask):
+                    if is_set and isinstance(element, ast.Name):
+                        self.known.add(element.id)
+
+    def _call_tuple_mask(self, call: ast.Call) -> Optional[Tuple[bool, ...]]:
+        name = _callable_name(call.func)
+        if name is None:
+            return None
+        return self.symbols.tuple_returning.get(name)
+
+    # -- the predicate -------------------------------------------------
+    def is_set(self, node: ast.expr) -> bool:
+        """Conservatively: does ``node`` evaluate to a raw set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.known
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.symbols.set_attributes
+        if isinstance(node, ast.Call):
+            name = _callable_name(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if name in SET_METHOD_NAMES and isinstance(node.func, ast.Attribute):
+                return True
+            if name is not None and name in self.symbols.set_returning:
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) or self.is_set(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self.is_set(node.value)
+        return False
+
+
+def _callable_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _iter_scope_statements(body: Sequence[ast.stmt]):
+    """All statements of a scope, not descending into nested defs."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.excepthandler):
+                for grand in ast.iter_child_nodes(child):
+                    if isinstance(grand, ast.stmt):
+                        stack.append(grand)
+
+
+def parse_file(path: Path) -> ast.Module:
+    """Parse a python file to an AST (syntax errors propagate)."""
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """All ``*.py`` files under ``root``, sorted for stable output."""
+    return sorted(p for p in root.rglob("*.py") if p.is_file())

@@ -1,0 +1,182 @@
+"""Cross-``PYTHONHASHSEED`` determinism harness.
+
+``PYTHONHASHSEED`` randomizes ``str`` hashing per process, so any code
+path that iterates a str-keyed ``set`` (or relies on set/dict ordering
+derived from one) produces different schedules in different processes —
+exactly the bug class PR 1 hot-fixed in ``bipartite_coloring``.  The
+linter catches the pattern statically; this harness catches it
+*behaviorally*: run the planner and the runtime executor in fresh
+subprocesses under two different hash seeds and require byte-identical
+canonical output.
+
+Used by the ``repro-migrate check --determinism`` CLI path, the CI
+``static-analysis`` job, and the regression tests.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import repro
+
+
+class DeterminismError(Exception):
+    """A determinism driver failed to run at all (not a mismatch)."""
+
+
+#: Prints a canonical JSON schedule for a random instance.
+#: argv: num_disks num_items instance_seed method
+PLAN_DRIVER = """\
+import json, sys
+from repro.core.solver import plan_migration
+from repro.workloads import random_instance
+
+num_disks, num_items, instance_seed = map(int, sys.argv[1:4])
+method = sys.argv[4]
+instance = random_instance(num_disks, num_items, seed=instance_seed)
+schedule = plan_migration(instance, method=method, seed=0)
+payload = {
+    "method": schedule.method,
+    "rounds": [list(rnd) for rnd in schedule.rounds],
+}
+sys.stdout.write(json.dumps(payload, sort_keys=True))
+"""
+
+#: Prints the canonical executor state after a full fault-injected run.
+#: argv: scenario_seed executor_seed
+EXECUTOR_DRIVER = """\
+import json, sys
+from repro.core.solver import plan_migration
+from repro.runtime import DiskCrash, FaultPlan, MigrationExecutor
+from repro.workloads.scenarios import decommission_scenario
+
+scenario_seed, executor_seed = map(int, sys.argv[1:3])
+scenario = decommission_scenario(seed=scenario_seed)
+faults = FaultPlan(transfer_failure_rate=0.1, crashes=(DiskCrash("new-2", 5.0),))
+executor = MigrationExecutor(
+    scenario.cluster,
+    scenario.context,
+    plan_migration(scenario.instance),
+    faults=faults,
+    seed=executor_seed,
+)
+executor.run()
+state = executor.get_state()
+layout = scenario.cluster.layout.as_dict()
+sys.stdout.write(json.dumps({"state": state, "layout": layout}, sort_keys=True))
+"""
+
+
+@dataclass(frozen=True)
+class DeterminismCheck:
+    """One driver run compared across hash seeds."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    checks: Tuple[DeterminismCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            status = "ok" if check.ok else "MISMATCH"
+            suffix = f" ({check.detail})" if check.detail and not check.ok else ""
+            lines.append(f"  {check.name}: {status}{suffix}")
+        return "\n".join(lines)
+
+
+def _src_root() -> str:
+    """The directory to put on PYTHONPATH so subprocesses import repro."""
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def run_driver(code: str, argv: Sequence[str], hash_seed: int) -> str:
+    """Run one driver subprocess under a pinned ``PYTHONHASHSEED``."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", code, *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if result.returncode != 0:
+        raise DeterminismError(
+            f"driver exited {result.returncode}: {result.stderr.strip()[:500]}"
+        )
+    return result.stdout
+
+
+def compare_across_hash_seeds(
+    name: str,
+    code: str,
+    argv: Sequence[str],
+    hash_seeds: Tuple[int, int] = (0, 1),
+) -> DeterminismCheck:
+    """Run one driver under both hash seeds and compare stdout bytes."""
+    first = run_driver(code, argv, hash_seeds[0])
+    second = run_driver(code, argv, hash_seeds[1])
+    if first == second:
+        return DeterminismCheck(name=name, ok=True)
+    detail = _first_divergence(first, second)
+    return DeterminismCheck(name=name, ok=False, detail=detail)
+
+
+def _first_divergence(a: str, b: str) -> str:
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return f"outputs diverge at byte {i}: {a[i - 20 : i + 20]!r} vs {b[i - 20 : i + 20]!r}"
+    return f"outputs have different lengths ({len(a)} vs {len(b)})"
+
+
+#: (name, num_disks, num_items, instance_seed, method) planner cases.
+DEFAULT_PLAN_CASES: Tuple[Tuple[str, int, int, int, str], ...] = (
+    ("plan/auto/small", 8, 30, 11, "auto"),
+    ("plan/general/medium", 12, 60, 7, "general"),
+    ("plan/greedy/medium", 10, 50, 3, "greedy"),
+)
+
+
+def check_determinism(
+    plan_cases: Optional[Sequence[Tuple[str, int, int, int, str]]] = None,
+    include_executor: bool = True,
+    hash_seeds: Tuple[int, int] = (0, 1),
+) -> DeterminismReport:
+    """Run the full cross-hash-seed battery.
+
+    Each case is executed twice in fresh interpreters (hash seeds 0 and
+    1 by default) and the canonical JSON outputs must match exactly.
+    """
+    checks: List[DeterminismCheck] = []
+    for name, num_disks, num_items, seed, method in plan_cases or DEFAULT_PLAN_CASES:
+        checks.append(
+            compare_across_hash_seeds(
+                name,
+                PLAN_DRIVER,
+                [str(num_disks), str(num_items), str(seed), method],
+                hash_seeds,
+            )
+        )
+    if include_executor:
+        checks.append(
+            compare_across_hash_seeds(
+                "runtime/executor", EXECUTOR_DRIVER, ["1", "7"], hash_seeds
+            )
+        )
+    return DeterminismReport(checks=tuple(checks))

@@ -1,0 +1,416 @@
+"""The determinism linter: rule definitions and the scanning driver.
+
+Schedules must be reproducible byte-for-byte from a seed alone — the
+checkpoint/resume guarantee of :mod:`repro.runtime` and the certified
+claims of :mod:`repro.checks.certify` both collapse without it.  PR 1
+shipped (and had to hot-fix) a ``PYTHONHASHSEED`` nondeterminism bug in
+the bipartite colorer; this linter catches that whole class statically.
+
+Rules
+-----
+
+``set-iter``
+    Iterating a raw ``set``/``frozenset`` in an order-sensitive
+    position (``for`` statement, list/dict/generator comprehension).
+    Set iteration order depends on insertion history and — for strings
+    and most objects — on ``PYTHONHASHSEED``.  Fix: iterate
+    ``sorted(s)`` (with a ``key=`` for heterogeneous elements), or
+    restructure around an insertion-ordered ``dict``/``list``.
+
+``set-order``
+    Materializing a set into an ordered container — ``list(s)``,
+    ``tuple(s)``, ``enumerate(s)``, ``reversed(s)``, ``"".join(s)`` —
+    without ``sorted``.  This is the ``dict``/``set`` → ``list``
+    conversion the resume bug rode in on.  Fix: ``sorted(s)``.
+
+``unseeded-random``
+    Module-level ``random.*`` calls (``random.shuffle`` etc.) draw from
+    the process-global, unseeded RNG.  Fix: thread a
+    ``random.Random(seed)`` instance through the call chain.
+
+``wall-clock``
+    ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` inside a
+    deterministic module makes output depend on when it ran.  Fix: take
+    timestamps at the boundary and pass them in.
+
+Order-insensitive consumers (``sorted``, ``sum``, ``min``, ``max``,
+``any``, ``all``, ``len``, ``set``, ``frozenset``, ``Counter``) are
+exempt — feeding a set into them is deterministic.  Set comprehensions
+over sets are likewise exempt (unordered in, unordered out).
+
+``set-iter``, ``set-order`` and ``wall-clock`` apply only to the
+schedule-producing packages (``core/``, ``graphs/``, ``runtime/`` by
+default); ``unseeded-random`` applies everywhere — stochastic modules
+(workloads, fault injection) must still draw from seeded generators.
+
+Suppression: append ``# repro: allow-<rule>`` (comma-separate several
+rules) with a one-line justification, either trailing the offending
+line or on a standalone comment line directly above it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.astwalk import (
+    Finding,
+    SetTypeInference,
+    SymbolTable,
+    collect_symbols,
+    iter_python_files,
+    parse_file,
+    parse_suppressions,
+)
+
+#: rule name -> one-line description (the full catalog lives in
+#: docs/checks.md and the module docstring above).
+RULES: Dict[str, str] = {
+    "set-iter": "iteration over a raw set/frozenset in an order-sensitive position",
+    "set-order": "set materialized into an ordered container without sorted()",
+    "unseeded-random": "module-level random.* call (process-global, unseeded RNG)",
+    "wall-clock": "wall-clock read (time.time/datetime.now) in a deterministic module",
+}
+
+#: Callables for which consuming a set argument is order-insensitive.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset", "Counter"}
+)
+
+#: Callables that impose an order on their (set) argument.
+_ORDERING_CONSUMERS = frozenset({"list", "tuple", "enumerate", "reversed"})
+
+_RANDOM_FACTORIES = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+_TIME_READS = frozenset({"time", "time_ns"})
+_DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+
+@dataclass
+class LintConfig:
+    """What to lint and where the determinism contract applies."""
+
+    deterministic_packages: Tuple[str, ...] = ("core", "graphs", "runtime")
+    select: Optional[Set[str]] = None  # None = all rules
+
+    def enabled(self, rule: str) -> bool:
+        return self.select is None or rule in self.select
+
+
+@dataclass
+class LintReport:
+    """Outcome of one linter run over a tree."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [f.render() for f in sorted(self.findings)]
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} suppressed, "
+            f"{self.files_scanned} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_tree(root: Optional[Path] = None, config: Optional[LintConfig] = None) -> LintReport:
+    """Lint every python file under ``root`` (default: the repro package).
+
+    Pass 1 collects set-returning annotations across all files; pass 2
+    applies the rules per file.  Findings carrying an inline
+    ``# repro: allow-<rule>`` land in ``report.suppressed``.
+    """
+    root = (root or default_root()).resolve()
+    config = config or LintConfig()
+    files = iter_python_files(root)
+    trees: List[Tuple[str, ast.Module]] = []
+    report = LintReport()
+    for path in files:
+        try:
+            trees.append((str(path), parse_file(path)))
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(str(path), exc.lineno or 0, exc.offset or 0,
+                        "syntax-error", str(exc.msg))
+            )
+    symbols = collect_symbols(trees)
+    for path_str, tree in trees:
+        path = Path(path_str)
+        rel = path.relative_to(root)
+        findings, suppressed = _lint_file(path, rel, tree, symbols, config)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+    report.files_scanned = len(files)
+    report.findings.sort()
+    report.suppressed.sort()
+    return report
+
+
+# ----------------------------------------------------------------------
+# per-file machinery
+# ----------------------------------------------------------------------
+
+@dataclass
+class _ModuleImports:
+    random_aliases: Set[str] = field(default_factory=set)
+    random_names: Set[str] = field(default_factory=set)
+    time_aliases: Set[str] = field(default_factory=set)
+    time_names: Set[str] = field(default_factory=set)
+    datetime_aliases: Set[str] = field(default_factory=set)
+    datetime_classes: Set[str] = field(default_factory=set)
+
+
+def _collect_imports(tree: ast.Module) -> _ModuleImports:
+    imports = _ModuleImports()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name == "random":
+                    imports.random_aliases.add(local)
+                elif alias.name == "time":
+                    imports.time_aliases.add(local)
+                elif alias.name == "datetime":
+                    imports.datetime_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_FACTORIES:
+                        imports.random_names.add(alias.asname or alias.name)
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_READS:
+                        imports.time_names.add(alias.asname or alias.name)
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        imports.datetime_classes.add(alias.asname or alias.name)
+    return imports
+
+
+def _lint_file(
+    path: Path,
+    rel: Path,
+    tree: ast.Module,
+    symbols: SymbolTable,
+    config: LintConfig,
+) -> Tuple[List[Finding], List[Finding]]:
+    source = path.read_text()
+    suppressions = parse_suppressions(source)
+    deterministic = rel.parts[:1] and rel.parts[0] in config.deterministic_packages
+    imports = _collect_imports(tree)
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    checker = _Checker(
+        path=str(path),
+        symbols=symbols,
+        config=config,
+        deterministic=bool(deterministic),
+        imports=imports,
+        parents=parents,
+    )
+    checker.check_scope(tree.body, SetTypeInference(symbols))
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding, span in checker.found:
+        if any(
+            finding.rule in suppressions.get(line, ())
+            for line in range(span[0], span[1] + 1)
+        ):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+class _Checker:
+    """Applies the rules scope by scope."""
+
+    def __init__(
+        self,
+        path: str,
+        symbols: SymbolTable,
+        config: LintConfig,
+        deterministic: bool,
+        imports: _ModuleImports,
+        parents: Dict[ast.AST, ast.AST],
+    ):
+        self.path = path
+        self.symbols = symbols
+        self.config = config
+        self.deterministic = deterministic
+        self.imports = imports
+        self.parents = parents
+        #: (finding, (first_line, last_line)) — the span a suppression
+        #: comment may attach to.
+        self.found: List[Tuple[Finding, Tuple[int, int]]] = []
+
+    # -- scope recursion ----------------------------------------------
+    def check_scope(self, body: Sequence[ast.stmt], inference: SetTypeInference) -> None:
+        inference.seed_from_body(body)
+        for node in _walk_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child = inference.child()
+                child.seed_from_args(node.args)
+                self.check_scope(node.body, child)
+            elif isinstance(node, ast.ClassDef):
+                self.check_scope(node.body, inference.child())
+            else:
+                self._check_node(node, inference)
+
+    # -- node dispatch -------------------------------------------------
+    def _check_node(self, node: ast.AST, inference: SetTypeInference) -> None:
+        if isinstance(node, ast.For):
+            self._check_for(node, inference)
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            self._check_comprehension(node, inference)
+        elif isinstance(node, ast.Call):
+            self._check_call(node, inference)
+
+    def _emit(self, rule: str, node: ast.AST, message: str,
+              span: Optional[Tuple[int, int]] = None) -> None:
+        if not self.config.enabled(rule):
+            return
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        end = getattr(node, "end_lineno", line) or line
+        self.found.append(
+            (Finding(self.path, line, col, rule, message), span or (line, end))
+        )
+
+    # -- rules ---------------------------------------------------------
+    def _check_for(self, node: ast.For, inference: SetTypeInference) -> None:
+        if not self.deterministic:
+            return
+        if inference.is_set(node.iter):
+            span_end = getattr(node.iter, "end_lineno", node.lineno) or node.lineno
+            self._emit(
+                "set-iter", node,
+                "for-loop over a raw set; iterate sorted(...) or restructure",
+                span=(node.lineno, span_end),
+            )
+
+    def _check_comprehension(self, node: ast.expr, inference: SetTypeInference) -> None:
+        if not self.deterministic:
+            return
+        if self._feeds_order_insensitive_consumer(node):
+            return
+        for gen in node.generators:  # type: ignore[attr-defined]
+            if inference.is_set(gen.iter):
+                kind = type(node).__name__
+                self._emit(
+                    "set-iter", gen.iter,
+                    f"{kind} iterates a raw set; wrap the source in sorted(...)",
+                )
+
+    def _check_call(self, node: ast.Call, inference: SetTypeInference) -> None:
+        func = node.func
+        # unseeded-random applies to every module, stochastic or not.
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.imports.random_aliases
+                and func.attr not in _RANDOM_FACTORIES
+            ):
+                self._emit(
+                    "unseeded-random", node,
+                    f"random.{func.attr}() uses the unseeded global RNG; "
+                    "use a random.Random(seed) instance",
+                )
+        elif isinstance(func, ast.Name) and func.id in self.imports.random_names:
+            self._emit(
+                "unseeded-random", node,
+                f"{func.id}() from the random module uses the unseeded global RNG",
+            )
+
+        if not self.deterministic:
+            return
+
+        # wall-clock
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                func.attr in _TIME_READS
+                and isinstance(base, ast.Name)
+                and base.id in self.imports.time_aliases
+            ):
+                self._emit("wall-clock", node,
+                           f"time.{func.attr}() in a deterministic module")
+            elif func.attr in _DATETIME_READS and self._is_datetime_base(base):
+                self._emit("wall-clock", node,
+                           f"datetime {func.attr}() in a deterministic module")
+        elif isinstance(func, ast.Name) and func.id in self.imports.time_names:
+            self._emit("wall-clock", node,
+                       f"{func.id}() (time.time) in a deterministic module")
+
+        # set-order
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDERING_CONSUMERS
+            and node.args
+            and inference.is_set(node.args[0])
+        ):
+            self._emit(
+                "set-order", node,
+                f"{func.id}() over a raw set imposes hash order; use sorted(...)",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and len(node.args) == 1
+            and inference.is_set(node.args[0])
+        ):
+            self._emit("set-order", node,
+                       "join() over a raw set imposes hash order; use sorted(...)")
+
+    def _is_datetime_base(self, base: ast.expr) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id in self.imports.datetime_classes
+        if isinstance(base, ast.Attribute):
+            return (
+                base.attr in ("datetime", "date")
+                and isinstance(base.value, ast.Name)
+                and base.value.id in self.imports.datetime_aliases
+            )
+        return False
+
+    def _feeds_order_insensitive_consumer(self, node: ast.expr) -> bool:
+        parent = self.parents.get(node)
+        if not isinstance(parent, ast.Call) or node not in parent.args:
+            return False
+        func = parent.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in ORDER_INSENSITIVE_CONSUMERS
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Every node in a scope, yielding (but not entering) nested defs."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

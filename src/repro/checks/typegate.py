@@ -1,0 +1,56 @@
+"""The strict-typing gate: run mypy on the solver packages.
+
+mypy is a *dev* dependency (the ``lint`` extra); production installs of
+this package never need it.  When mypy is importable we run it
+programmatically against the strict configuration in ``pyproject.toml``
+(scoped to ``repro.core`` and ``repro.graphs``); when it is absent the
+gate reports ``skipped`` and does not fail — CI installs mypy and is
+where the gate actually gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+import repro
+
+
+@dataclass(frozen=True)
+class TypeGateReport:
+    ok: bool
+    skipped: bool
+    output: str
+
+    def render(self) -> str:
+        if self.skipped:
+            return "  types: skipped (mypy not installed; CI enforces this gate)"
+        status = "ok" if self.ok else "FAILED"
+        body = f"\n{self.output}" if self.output and not self.ok else ""
+        return f"  types: {status}{body}"
+
+
+def _project_root() -> Optional[Path]:
+    """The checkout root (directory containing pyproject.toml), if any."""
+    candidate = Path(repro.__file__).resolve().parent.parent.parent
+    if (candidate / "pyproject.toml").is_file():
+        return candidate
+    return None
+
+
+def run_type_gate(targets: Tuple[str, ...] = ()) -> TypeGateReport:
+    """Run mypy strict on the configured packages; skip if unavailable."""
+    try:
+        from mypy import api as mypy_api
+    except ImportError:
+        return TypeGateReport(ok=True, skipped=True, output="")
+
+    root = _project_root()
+    src = Path(repro.__file__).resolve().parent
+    args = list(targets) or [str(src / "core"), str(src / "graphs")]
+    if root is not None:
+        args = ["--config-file", str(root / "pyproject.toml")] + args
+    stdout, stderr, status = mypy_api.run(args)
+    output = (stdout + stderr).strip()
+    return TypeGateReport(ok=status == 0, skipped=False, output=output)

@@ -16,6 +16,9 @@ Subcommands:
 * ``gantt`` — schedule a JSON instance and render the per-disk round
   Gantt chart.
 * ``fuzz`` — cross-validate all schedulers on randomized instances.
+* ``check`` — correctness tooling (:mod:`repro.checks`): determinism
+  linter, mypy strict gate, cross-``PYTHONHASHSEED`` harness, and
+  independent schedule certification (``--certify``).
 """
 
 from __future__ import annotations
@@ -313,6 +316,70 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return fuzz_main(["--trials", str(args.trials), "--seed", str(args.seed)])
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the repro.checks battery; exit non-zero on any failure."""
+    import json
+    from pathlib import Path
+
+    from repro.checks import (
+        CertificationError,
+        certificate_to_json,
+        certify,
+        check_determinism,
+        lint_tree,
+        make_certificate,
+        run_type_gate,
+    )
+
+    if args.certify is not None:
+        from repro.workloads.io import load_instance
+
+        instance = load_instance(args.certify)
+        schedule = plan_migration(instance, method=args.method)
+        try:
+            report = certify(instance, schedule)
+        except CertificationError as exc:
+            print(f"certification FAILED: {exc}")
+            return 1
+        print(
+            f"schedule: {report.rounds} rounds (method={report.method}); "
+            f"verified lower bound: {report.lower_bound}; "
+            f"certified optimal: {report.certified_optimal}"
+        )
+        print(json.dumps(certificate_to_json(make_certificate(instance)), indent=2))
+        return 0
+
+    run_all = not (args.lint or args.types or args.determinism)
+    failed = False
+    root = Path(args.root) if args.root else None
+
+    if args.lint or run_all:
+        lint_report = lint_tree(root=root)
+        print(
+            f"lint: {len(lint_report.findings)} findings, "
+            f"{len(lint_report.suppressed)} suppressed, "
+            f"{lint_report.files_scanned} files"
+        )
+        if not lint_report.ok:
+            print(lint_report.render())
+            failed = True
+
+    if args.types or run_all:
+        type_report = run_type_gate()
+        print(type_report.render().strip())
+        if not type_report.ok:
+            failed = True
+
+    if args.determinism or run_all:
+        det_report = check_determinism(include_executor=not args.fast)
+        print("determinism (PYTHONHASHSEED 0 vs 1):")
+        print(det_report.render())
+        if not det_report.ok:
+            failed = True
+
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-migrate",
@@ -397,6 +464,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--items", type=int, default=200)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_check = sub.add_parser(
+        "check",
+        help="determinism lint, typing gate, hash-seed harness, certification",
+    )
+    p_check.add_argument("--lint", action="store_true",
+                         help="run only the determinism linter")
+    p_check.add_argument("--types", action="store_true",
+                         help="run only the mypy strict gate (skips if mypy "
+                              "is not installed)")
+    p_check.add_argument("--determinism", action="store_true",
+                         help="run only the cross-PYTHONHASHSEED harness")
+    p_check.add_argument("--fast", action="store_true",
+                         help="skip the (slow) executor determinism case")
+    p_check.add_argument("--certify", metavar="PATH", default=None,
+                         help="plan a JSON instance (see `generate`), "
+                              "independently certify the schedule, and print "
+                              "the lower-bound certificate")
+    p_check.add_argument("--method", choices=METHODS, default="auto",
+                         help="planner method for --certify")
+    p_check.add_argument("--root", default=None,
+                         help="lint this directory instead of the installed "
+                              "repro package")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -77,11 +77,11 @@ def seed_orbits(state: ColoringState) -> List[EdgeOrbit]:
     """One orbit per group of parallel uncolored (bad) edges."""
     graph = state.graph
     groups: Dict[Tuple[Node, Node], List[EdgeId]] = {}
-    for eid in state.uncolored:
+    for eid in sorted(state.uncolored):
         u, v = graph.endpoints(eid)
         key = (u, v) if repr(u) <= repr(v) else (v, u)
         groups.setdefault(key, []).append(eid)
-    orbits = []
+    orbits: List[EdgeOrbit] = []
     for (u, v), eids in sorted(groups.items(), key=lambda kv: repr(kv[0])):
         if len(eids) < 2:
             continue
@@ -172,7 +172,7 @@ def grow_orbit(
                     path = trace_ab_path(state, start, first, second)
                     if not path:
                         continue
-                    new_nodes = set()
+                    new_nodes: Set[Node] = set()
                     for peid in path:
                         new_nodes.update(state.graph.endpoints(peid))
                     new_nodes -= orbit.vertices
@@ -211,7 +211,7 @@ class OrbitTrace:
 
 def explore_orbits(state: ColoringState, max_growth: int = 100) -> List[OrbitTrace]:
     """Grow every seeded orbit to its conclusion; return trajectories."""
-    traces = []
+    traces: List[OrbitTrace] = []
     for orbit in seed_orbits(state):
         outcome = "seeded"
         for _ in range(max_growth):

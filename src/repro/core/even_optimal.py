@@ -75,7 +75,7 @@ def even_optimal_schedule(instance: MigrationInstance) -> MigrationSchedule:
             ) from exc
         picked_global = {remaining[i] for i in picked}
         rounds.append(
-            [bip_eids[i] for i in picked_global if bip_eids[i] in real_edges]
+            [bip_eids[i] for i in sorted(picked_global) if bip_eids[i] in real_edges]
         )
         remaining = [i for i in remaining if i not in picked_global]
     if remaining:

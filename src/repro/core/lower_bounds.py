@@ -1,4 +1,4 @@
-"""The two lower bounds of Section III.
+"""The two lower bounds of Section III, with machine-checkable witnesses.
 
 * ``LB1 = Δ' = max_v ceil(d_v / c_v)`` — a disk can move at most
   ``c_v`` items per round.
@@ -13,13 +13,18 @@ pairs, components, capacity-aware peeling orders) and is a certified
 lower bound — every candidate's value is a true bound, we simply may
 not find the maximizing ``S``.  The benchmark ``bench_lb_bounds``
 measures how often the heuristic matches the exact value.
+
+Every bound comes in a witness-producing form (:func:`lb1_witness`,
+:func:`lb2_witness`, :func:`lb2_exact_witness`): the returned node /
+subset is a self-contained proof of the bound that
+:mod:`repro.checks.certify` re-verifies without trusting this module.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.problem import MigrationInstance
 from repro.graphs.multigraph import Node
@@ -28,6 +33,25 @@ from repro.graphs.multigraph import Node
 def lb1(instance: MigrationInstance) -> int:
     """``Δ' = max_v ceil(d_v / c_v)``."""
     return instance.delta_prime()
+
+
+def lb1_witness(instance: MigrationInstance) -> Tuple[Optional[Node], int]:
+    """``(argmax_v ceil(d_v / c_v), Δ')``; ``(None, 0)`` if no nodes.
+
+    Ties are broken toward the node with the smallest ``repr`` so the
+    witness is reproducible across processes.
+    """
+    best_node: Optional[Node] = None
+    best_value = 0
+    for v in instance.graph.nodes:
+        value = instance.constrained_degree(v)
+        if value > best_value:
+            best_node, best_value = v, value
+        elif value == best_value and value > 0 and repr(v) < repr(best_node):
+            best_node = v
+    if best_value == 0:
+        return (None, 0)
+    return (best_node, best_value)
 
 
 def subset_bound(instance: MigrationInstance, subset: Iterable[Node]) -> int:
@@ -57,20 +81,44 @@ def lb2_exact(instance: MigrationInstance, max_nodes: int = 16) -> int:
         ValueError: if the graph has more than ``max_nodes`` nodes
             (the enumeration is exponential).
     """
+    return lb2_exact_witness(instance, max_nodes=max_nodes)[1]
+
+
+def lb2_exact_witness(
+    instance: MigrationInstance, max_nodes: int = 16
+) -> Tuple[List[Node], int]:
+    """Exact ``Γ'`` plus a maximizing subset (empty list when Γ' = 0).
+
+    Raises:
+        ValueError: if the graph has more than ``max_nodes`` nodes
+            (the enumeration is exponential).
+    """
     nodes = instance.graph.nodes
     if len(nodes) > max_nodes:
         raise ValueError(
             f"exact LB2 is exponential; graph has {len(nodes)} > {max_nodes} nodes"
         )
     best = 0
+    best_subset: List[Node] = []
     for size in range(2, len(nodes) + 1):
         for combo in itertools.combinations(nodes, size):
-            best = max(best, subset_bound(instance, combo))
-    return best
+            value = subset_bound(instance, combo)
+            if value > best:
+                best = value
+                best_subset = list(combo)
+    return best_subset, best
 
 
 def lb2(instance: MigrationInstance) -> int:
     """Heuristic (but certified) ``Γ'`` over candidate subsets.
+
+    See :func:`lb2_witness` for the candidate family.
+    """
+    return lb2_witness(instance)[1]
+
+
+def lb2_witness(instance: MigrationInstance) -> Tuple[List[Node], int]:
+    """Heuristic ``Γ'`` plus the best witness subset found.
 
     Candidates evaluated:
 
@@ -81,9 +129,15 @@ def lb2(instance: MigrationInstance) -> int:
       repeatedly delete the node with the smallest
       ``internal_degree / c_v`` ratio, evaluating the bound after each
       deletion (generalizes the classic densest-subgraph peeling).
+
+    Returns ``(subset, value)``; the subset is empty iff the value is 0.
+    The subset is a *witness*: ``subset_bound(instance, subset)`` equals
+    the returned value, so downstream certification never has to trust
+    the maximization itself.
     """
     graph = instance.graph
     best = 0
+    best_subset: List[Node] = []
 
     # Node pairs with edges.
     pair_edges: Dict[Tuple[Node, Node], int] = {}
@@ -93,22 +147,37 @@ def lb2(instance: MigrationInstance) -> int:
     for (u, v), m in pair_edges.items():
         half = (instance.capacity(u) + instance.capacity(v)) // 2
         if half > 0:
-            best = max(best, math.ceil(m / half))
+            value = math.ceil(m / half)
+            if value > best:
+                best = value
+                best_subset = [u, v]
 
     # Components and their peeling prefixes.
     for component in graph.connected_components():
         if len(component) < 2:
             continue
-        best = max(best, subset_bound(instance, component))
-        best = max(best, _peel(instance, component))
-    return best
+        value = subset_bound(instance, component)
+        if value > best:
+            best = value
+            best_subset = sorted(component, key=repr)
+        peel_subset, peel_value = _peel(instance, component)
+        if peel_value > best:
+            best = peel_value
+            best_subset = peel_subset
+    return best_subset, best
 
 
-def _peel(instance: MigrationInstance, component: Set[Node]) -> int:
-    """Best LB2 value along a capacity-aware peeling of ``component``."""
+def _peel(
+    instance: MigrationInstance, component: Set[Node]
+) -> Tuple[List[Node], int]:
+    """Best LB2 prefix along a capacity-aware peeling of ``component``.
+
+    Returns ``(subset, value)`` for the best prefix encountered.
+    """
     graph = instance.graph
     nodes = set(component)
-    internal_degree: Dict[Node, int] = {v: 0 for v in nodes}
+    # Zero-init counter; only read by key, order never escapes.
+    internal_degree: Dict[Node, int] = {v: 0 for v in nodes}  # repro: allow-set-iter
     edges_inside = 0
     for _eid, u, v in graph.edges():
         if u in nodes and v in nodes:
@@ -118,10 +187,14 @@ def _peel(instance: MigrationInstance, component: Set[Node]) -> int:
     capacity_sum = sum(instance.capacity(v) for v in nodes)
 
     best = 0
+    best_subset: List[Node] = []
     while len(nodes) >= 2 and edges_inside > 0:
         half = capacity_sum // 2
         if half > 0:
-            best = max(best, math.ceil(edges_inside / half))
+            value = math.ceil(edges_inside / half)
+            if value > best:
+                best = value
+                best_subset = sorted(nodes, key=repr)
         # Remove the node contributing least density per unit capacity.
         victim = min(
             nodes, key=lambda v: (internal_degree[v] / instance.capacity(v), repr(v))
@@ -134,7 +207,7 @@ def _peel(instance: MigrationInstance, component: Set[Node]) -> int:
                 internal_degree[other] -= 1
                 edges_inside -= 1
         internal_degree.pop(victim, None)
-    return best
+    return best_subset, best
 
 
 def lower_bound(instance: MigrationInstance, exact_small: bool = True) -> int:

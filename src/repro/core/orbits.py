@@ -53,7 +53,7 @@ def uncolored_components(state: ColoringState) -> List[OrbitReport]:
     graph = state.graph
     # Adjacency restricted to uncolored edges.
     adj: Dict[Node, List[Tuple[EdgeId, Node]]] = {}
-    for eid in state.uncolored:
+    for eid in sorted(state.uncolored):
         u, v = graph.endpoints(eid)
         adj.setdefault(u, []).append((eid, v))
         adj.setdefault(v, []).append((eid, u))
@@ -99,7 +99,7 @@ def find_strongly_missing(
     state: ColoringState, nodes: Set[Node]
 ) -> Optional[Tuple[Node, int]]:
     """A (node, color) with the color strongly missing, if any."""
-    for v in nodes:
+    for v in sorted(nodes, key=repr):
         for c in range(state.q):
             if state.is_strongly_missing(v, c):
                 return (v, c)
@@ -134,7 +134,7 @@ def _has_bad_edges(state: ColoringState, edges: List[EdgeId]) -> bool:
 def bad_edge_groups(state: ColoringState) -> List[List[EdgeId]]:
     """Groups of parallel uncolored edges (Definition 5.5's bad edges)."""
     groups: Dict[Tuple[Node, Node], List[EdgeId]] = {}
-    for eid in state.uncolored:
+    for eid in sorted(state.uncolored):
         u, v = state.graph.endpoints(eid)
         key = (u, v) if repr(u) <= repr(v) else (v, u)
         groups.setdefault(key, []).append(eid)
@@ -180,7 +180,8 @@ def is_gamma_witness(state: ColoringState, report: OrbitReport) -> bool:
     if not free:
         return True
     cap_sum = sum(state.cap[v] for v in report.nodes)
-    for c in free:
+    # All colors are checked and the boolean verdict is order-independent.
+    for c in free:  # repro: allow-set-iter
         used = sum(state.count(v, c) for v in report.nodes)
         if used < cap_sum - 1:
             return False

@@ -32,7 +32,7 @@ class MigrationInstance:
     before augmenting it.
     """
 
-    def __init__(self, graph: Multigraph, capacities: Mapping[Node, int]):
+    def __init__(self, graph: Multigraph, capacities: Mapping[Node, int]) -> None:
         for eid, u, v in graph.edges():
             if u == v:
                 raise InvalidInstanceError(f"edge {eid} is a self-loop at {u!r}")

@@ -50,7 +50,7 @@ class ColoringState:
         capacities: Mapping[Node, int],
         num_colors: int,
         seed: int = 0,
-    ):
+    ) -> None:
         self.graph = graph
         self.cap = dict(capacities)
         self.q = num_colors

@@ -19,7 +19,9 @@ from repro.graphs.multigraph import EdgeId, Node
 class MigrationSchedule:
     """An ordered list of rounds; each round is a list of edge ids."""
 
-    def __init__(self, rounds: Sequence[Sequence[EdgeId]], method: str = "unknown"):
+    def __init__(
+        self, rounds: Sequence[Sequence[EdgeId]], method: str = "unknown"
+    ) -> None:
         self._rounds: List[List[EdgeId]] = [list(r) for r in rounds if len(r) > 0]
         self.method = method
 

@@ -23,7 +23,7 @@ These beat the general Section V algorithm's guarantee (they are
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
@@ -49,7 +49,7 @@ def is_forest_instance(instance: MigrationInstance) -> bool:
     graph = instance.graph
     if graph.max_multiplicity() > 1:
         return False
-    seen = set()
+    seen: Set[Node] = set()
     for start in graph.nodes:
         if start in seen:
             continue

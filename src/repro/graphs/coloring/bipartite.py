@@ -41,7 +41,9 @@ def bipartite_sides(graph: Multigraph) -> Tuple[Set[Node], Set[Node]]:
             x = stack.pop()
             if graph.edges_between(x, x):
                 raise NotBipartiteError(f"self-loop at {x!r}")
-            for y in graph.neighbors(x):
+            # The 2-coloring of a component is unique given its anchor's
+            # side, so visit order cannot change the resulting sides.
+            for y in graph.neighbors(x):  # repro: allow-set-iter
                 if y not in side:
                     side[y] = 1 - side[x]
                     stack.append(y)
@@ -114,7 +116,7 @@ def bipartite_coloring(graph: Multigraph) -> Dict[EdgeId, int]:
         sub = [(edges[i][0], edges[i][1]) for i in remaining]
         picked = degree_constrained_subgraph(sub, quota_left, quota_right)
         picked_ids = {remaining[i] for i in picked}
-        for i in picked_ids:
+        for i in sorted(picked_ids):
             real = edges[i][2]
             if real is not None:
                 coloring[real] = color

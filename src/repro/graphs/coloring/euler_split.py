@@ -18,7 +18,7 @@ evenizing node whenever one exists, so real degrees stay within
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.graphs.coloring.base import inherit_palette
 from repro.graphs.coloring.kempe import kempe_coloring
@@ -63,7 +63,7 @@ def euler_split(graph: Multigraph) -> Tuple[Multigraph, Multigraph]:
     # Evenize: connect odd-degree nodes to a dummy hub (their count is
     # even, so the hub's degree is even too).
     odd_nodes = [v for v in work.nodes if work.degree(v) % 2 == 1]
-    dummy_edges = set()
+    dummy_edges: Set[EdgeId] = set()
     if odd_nodes:
         work.add_node(_DUMMY)
         for v in odd_nodes:

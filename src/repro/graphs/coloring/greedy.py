@@ -10,7 +10,7 @@ beat.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.graphs.multigraph import EdgeId, Multigraph
 
@@ -46,7 +46,7 @@ def greedy_coloring(
     return coloring
 
 
-def degree_descending_order(graph: Multigraph) -> list:
+def degree_descending_order(graph: Multigraph) -> List[EdgeId]:
     """Edges ordered by decreasing endpoint-degree sum.
 
     Coloring high-pressure edges first tends to shrink the first-fit

@@ -69,7 +69,7 @@ def vizing_coloring(graph: Multigraph) -> Dict[EdgeId, int]:
         while grown:
             grown = False
             last = fan[-1]
-            for x in graph.neighbors(u):
+            for x in sorted(graph.neighbors(u), key=repr):
                 if x in in_fan:
                     continue
                 eid = edge_between(u, x)

@@ -190,16 +190,15 @@ def edmonds_karp(
         if sink not in parent:
             return value
         # Bottleneck along the path.
-        bottleneck = None
+        bottleneck: Optional[int] = None
         y = sink
-        while parent[y] is not None:
-            x = parent[y]
+        while (x := parent[y]) is not None:
             cap = residual[x][y]
             bottleneck = cap if bottleneck is None else min(bottleneck, cap)
             y = x
+        assert bottleneck is not None  # sink reachable, so the path has an edge
         y = sink
-        while parent[y] is not None:
-            x = parent[y]
+        while (x := parent[y]) is not None:
             residual[x][y] -= bottleneck
             residual[y][x] += bottleneck
             y = x

@@ -112,7 +112,7 @@ class MinCostFlow:
             total_flow += push
         return total_flow, total_cost
 
-    def _dijkstra(self, s: int, potential: List[float]):
+    def _dijkstra(self, s: int, potential: List[float]) -> Tuple[List[float], List[int]]:
         n = len(self._names)
         dist = [_INF] * n
         parent_arc = [-1] * n

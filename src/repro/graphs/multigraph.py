@@ -15,7 +15,7 @@ every algorithm in this package talks about edges by id, never by
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 Node = Hashable
 EdgeId = int
@@ -28,7 +28,9 @@ class Multigraph:
     the degree of its endpoint.
     """
 
-    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Tuple[Node, Node]] = ()):
+    def __init__(
+        self, nodes: Iterable[Node] = (), edges: Iterable[Tuple[Node, Node]] = ()
+    ) -> None:
         self._adj: Dict[Node, Dict[EdgeId, Node]] = {}
         self._edges: Dict[EdgeId, Tuple[Node, Node]] = {}
         self._degree: Dict[Node, int] = {}
@@ -200,7 +202,7 @@ class Multigraph:
         """Node-induced subgraph; edge ids are preserved."""
         keep = set(nodes)
         g = Multigraph()
-        for v in keep:
+        for v in sorted(keep, key=repr):
             if v in self._adj:
                 g.add_node(v)
         g._next_id = self._next_id
@@ -234,7 +236,7 @@ class Multigraph:
                 g._degree[u] += 2
         return g
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export as ``networkx.MultiGraph`` with edge ids as keys."""
         import networkx as nx
 
@@ -245,7 +247,7 @@ class Multigraph:
         return g
 
     @classmethod
-    def from_networkx(cls, g) -> "Multigraph":
+    def from_networkx(cls, g: Any) -> "Multigraph":
         """Import from any networkx (multi)graph; edge keys are ignored."""
         mg = cls()
         for v in g.nodes:

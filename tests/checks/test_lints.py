@@ -1,0 +1,322 @@
+"""Determinism linter tests.
+
+The two acceptance criteria live here: the shipped ``src/repro`` tree
+lints clean, and a synthetic raw-``set`` iteration seeded into a
+scheduling module is caught (and fails the CLI with a non-zero exit).
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks import LintConfig, lint_tree
+from repro.checks.astwalk import parse_suppressions
+from repro.cli import main as cli_main
+
+
+def write_module(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_of(report):
+    return sorted({f.rule for f in report.findings})
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        report = lint_tree()
+        assert report.ok, "\n" + report.render()
+        assert report.files_scanned > 50
+
+    def test_suppressions_are_acknowledged_not_hidden(self):
+        report = lint_tree()
+        # The suppressed list keeps every allow-* exception visible.
+        assert all(f.rule == "set-iter" for f in report.suppressed)
+
+    def test_cli_lint_exits_zero_on_shipped_tree(self, capsys):
+        assert cli_main(["check", "--lint"]) == 0
+
+
+class TestSetIterSelfTest:
+    """Seeding a raw-set iteration into a scheduling module must fail."""
+
+    SYNTHETIC = """
+        def order_rounds(edges):
+            pending = {e for e in edges}
+            rounds = []
+            for eid in pending:
+                rounds.append([eid])
+            return rounds
+    """
+
+    def test_raw_set_iteration_in_core_is_flagged(self, tmp_path):
+        write_module(tmp_path, "core/sched.py", self.SYNTHETIC)
+        report = lint_tree(root=tmp_path)
+        assert not report.ok
+        assert "set-iter" in rules_of(report)
+
+    def test_cli_exits_nonzero(self, tmp_path, capsys):
+        write_module(tmp_path, "core/sched.py", self.SYNTHETIC)
+        assert cli_main(["check", "--lint", "--root", str(tmp_path)]) == 1
+
+    def test_same_code_outside_deterministic_packages_passes(self, tmp_path):
+        write_module(tmp_path, "analysis/sched.py", self.SYNTHETIC)
+        report = lint_tree(root=tmp_path)
+        assert report.ok
+
+    def test_sorted_wrapping_fixes_it(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/sched.py",
+            """
+            def order_rounds(edges):
+                pending = {e for e in edges}
+                rounds = []
+                for eid in sorted(pending):
+                    rounds.append([eid])
+                return rounds
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+
+class TestSetIterInference:
+    def test_comprehension_over_set_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                return [x for x in s]
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert rules_of(report) == ["set-iter"]
+
+    def test_order_insensitive_consumers_are_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                total = sum(x for x in s)
+                biggest = max(s)
+                smalls = {x for x in s if x < 3}
+                return total, biggest, smalls
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_cross_file_return_annotation_is_used(self, tmp_path):
+        write_module(
+            tmp_path,
+            "graphs/g.py",
+            """
+            from typing import Set
+
+            def neighbors(v: int) -> Set[int]:
+                return {v + 1, v - 1}
+            """,
+        )
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            from graphs.g import neighbors
+
+            def f(v):
+                out = []
+                for n in neighbors(v):
+                    out.append(n)
+                return out
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert rules_of(report) == ["set-iter"]
+        assert any("core" in f.path for f in report.findings)
+
+    def test_set_order_rule_flags_list_conversion(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                return list(s)
+            """,
+        )
+        assert rules_of(lint_tree(root=tmp_path)) == ["set-order"]
+
+    def test_sorted_conversion_is_fine(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                return sorted(s)
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+
+class TestRandomAndClockRules:
+    def test_unseeded_random_flagged_everywhere(self, tmp_path):
+        source = """
+            import random
+
+            def shuffle_moves(moves):
+                random.shuffle(moves)
+                return moves
+        """
+        write_module(tmp_path, "workloads/w.py", source)
+        report = lint_tree(root=tmp_path)
+        assert rules_of(report) == ["unseeded-random"]
+
+    def test_seeded_rng_instances_are_fine(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            import random
+
+            def shuffle_moves(moves, seed):
+                rng = random.Random(seed)
+                rng.shuffle(moves)
+                return moves
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_from_import_random_call_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            from random import shuffle
+
+            def f(moves):
+                shuffle(moves)
+            """,
+        )
+        assert rules_of(lint_tree(root=tmp_path)) == ["unseeded-random"]
+
+    def test_wall_clock_in_deterministic_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "runtime/r.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert rules_of(lint_tree(root=tmp_path)) == ["wall-clock"]
+
+    def test_datetime_now_in_core(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert rules_of(lint_tree(root=tmp_path)) == ["wall-clock"]
+
+    def test_wall_clock_allowed_outside_deterministic_packages(self, tmp_path):
+        write_module(
+            tmp_path,
+            "analysis/a.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                out = []
+                for x in s:  # repro: allow-set-iter
+                    out.append(x)
+                return out
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_standalone_comment_suppresses_next_line(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                out = []
+                # order provably irrelevant here
+                # repro: allow-set-iter
+                for x in s:
+                    out.append(x)
+                return out
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_wrong_rule_name_does_not_suppress(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                out = []
+                for x in s:  # repro: allow-wall-clock
+                    out.append(x)
+                return out
+            """,
+        )
+        assert not lint_tree(root=tmp_path).ok
+
+    def test_parse_suppressions_grammar(self):
+        src = "x = 1  # repro: allow-set-iter, allow-wall-clock\n# repro: allow-set-order\ny = 2\n"
+        sup = parse_suppressions(src)
+        assert sup[1] == {"set-iter", "wall-clock"}
+        assert sup[2] == {"set-order"}
+        assert sup[3] == {"set-order"}
+
+
+class TestConfig:
+    def test_select_restricts_rules(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            import time
+
+            def f(s: set):
+                t = time.time()
+                return [x for x in s], t
+            """,
+        )
+        report = lint_tree(
+            root=tmp_path, config=LintConfig(select={"wall-clock"})
+        )
+        assert rules_of(report) == ["wall-clock"]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        write_module(tmp_path, "core/bad.py", "def f(:\n")
+        report = lint_tree(root=tmp_path)
+        assert rules_of(report) == ["syntax-error"]
