@@ -3,12 +3,14 @@
 
 Builds the paper's running example by hand — a handful of disks with
 different transfer constraints and a batch of items to move — and asks
-the library for a minimum-round schedule.
+the library for a minimum-round schedule, first through the one-call
+legacy API and then through the staged planning pipeline, which also
+reports *how* the plan was made.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MigrationInstance, lower_bound, plan_migration
+from repro import MigrationInstance, lower_bound, plan, plan_migration
 
 
 def main() -> None:
@@ -42,6 +44,22 @@ def main() -> None:
     schedule.validate(instance)
     print("\nschedule validates: every item moves once, no disk ever "
           "exceeds its transfer constraint.")
+
+    # The staged pipeline returns the same schedule plus provenance:
+    # which solver handled each connected component, what each stage
+    # cost, and (with certify=True) a machine-checked lower bound.
+    result = plan(instance, certify=True)
+    print("\nplanning pipeline:")
+    for comp in result.components:
+        print(f"  component {comp.index}: {comp.num_disks} disks, "
+              f"{comp.num_items} items -> {comp.method} "
+              f"({comp.rounds} rounds)")
+    print("  stage timings: " + ", ".join(
+        f"{stage} {seconds * 1e3:.2f}ms"
+        for stage, seconds in result.stage_timings.items()
+    ))
+    print(f"  certified lower bound: {result.lower_bound} rounds "
+          f"(optimal: {result.certified_optimal})")
 
 
 if __name__ == "__main__":

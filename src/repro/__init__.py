@@ -17,6 +17,11 @@ Quickstart::
 Package map:
 
 * :mod:`repro.core` — the scheduling algorithms (Sections III–V).
+* :mod:`repro.pipeline` — the staged planning pipeline (normalize →
+  decompose → select → solve → merge → certify) behind
+  :func:`plan_migration`; call :func:`repro.pipeline.plan` directly
+  for per-component attribution, caching, parallel solving and
+  lower-bound certification.
 * :mod:`repro.graphs` — multigraph, Euler, flow, matching, coloring
   substrates.
 * :mod:`repro.cluster` — a storage-cluster simulator that executes
@@ -32,6 +37,7 @@ from repro.core.schedule import MigrationSchedule
 from repro.core.solver import plan_migration
 from repro.core.lower_bounds import lb1, lb2, lower_bound
 from repro.graphs.multigraph import Multigraph
+from repro.pipeline import PlanCache, PlanResult, plan
 
 __version__ = "1.0.0"
 
@@ -39,6 +45,9 @@ __all__ = [
     "MigrationInstance",
     "MigrationSchedule",
     "Multigraph",
+    "PlanCache",
+    "PlanResult",
+    "plan",
     "plan_migration",
     "lower_bound",
     "lb1",

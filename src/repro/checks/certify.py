@@ -31,15 +31,17 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.lower_bounds import lb1_witness, lb2_exact_witness, lb2_witness
+from repro.core.lower_bounds import (
+    EXACT_LB2_NODE_LIMIT,  # noqa: F401  (re-exported: the public name lives here too)
+    lb1_witness,
+    lb2_exact_witness,
+    lb2_witness,
+)
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.graphs.multigraph import EdgeId, Node
 
 CERTIFICATE_SCHEMA_VERSION = 1
-
-#: Node count at or below which certificates use exhaustive LB2.
-EXACT_LB2_NODE_LIMIT = 14
 
 Rounds = Sequence[Sequence[EdgeId]]
 

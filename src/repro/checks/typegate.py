@@ -3,7 +3,8 @@
 mypy is a *dev* dependency (the ``lint`` extra); production installs of
 this package never need it.  When mypy is importable we run it
 programmatically against the strict configuration in ``pyproject.toml``
-(scoped to ``repro.core`` and ``repro.graphs``); when it is absent the
+(scoped to ``repro.core``, ``repro.graphs`` and ``repro.pipeline``);
+when it is absent the
 gate reports ``skipped`` and does not fail — CI installs mypy and is
 where the gate actually gates.
 """
@@ -48,7 +49,11 @@ def run_type_gate(targets: Tuple[str, ...] = ()) -> TypeGateReport:
 
     root = _project_root()
     src = Path(repro.__file__).resolve().parent
-    args = list(targets) or [str(src / "core"), str(src / "graphs")]
+    args = list(targets) or [
+        str(src / "core"),
+        str(src / "graphs"),
+        str(src / "pipeline"),
+    ]
     if root is not None:
         args = ["--config-file", str(root / "pyproject.toml")] + args
     stdout, stderr, status = mypy_api.run(args)

@@ -4,6 +4,10 @@ Subcommands:
 
 * ``schedule`` — read moves from a CSV-ish file (``src,dst`` per line)
   plus capacities, or a JSON instance (``--json``), print the schedule.
+* ``plan`` — run the staged planning pipeline on the same inputs and
+  report what it did: per-stage timings, per-component solver
+  attribution, cache hits, and (``--certify``) the verified lower
+  bound.
 * ``demo`` — run a named scenario end-to-end through the simulator
   (``--list`` enumerates the scenarios).
 * ``run`` — supervised execution of a scenario through
@@ -72,16 +76,20 @@ def _parse_moves_file(path: str) -> Tuple[List[Tuple[str, str]], Dict[str, int]]
     return moves, caps
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
+def _load_cli_instance(args: argparse.Namespace) -> MigrationInstance:
+    """Shared ``schedule``/``plan`` input handling."""
     if args.json:
         from repro.workloads.io import load_instance
 
-        instance = load_instance(args.moves_file)
-    else:
-        moves, caps = _parse_moves_file(args.moves_file)
-        disks = {d for pair in moves for d in pair}
-        capacities = {d: caps.get(d, args.default_capacity) for d in disks}
-        instance = MigrationInstance.from_moves(moves, capacities)
+        return load_instance(args.moves_file)
+    moves, caps = _parse_moves_file(args.moves_file)
+    disks = {d for pair in moves for d in pair}
+    capacities = {d: caps.get(d, args.default_capacity) for d in disks}
+    return MigrationInstance.from_moves(moves, capacities)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = _load_cli_instance(args)
     schedule = plan_migration(instance, method=args.method)
     print(f"# method={schedule.method} rounds={schedule.num_rounds}")
     graph = instance.graph
@@ -90,6 +98,51 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             "->".join(map(str, graph.endpoints(eid))) for eid in sorted(rnd)
         )
         print(f"round {i}: {printable}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.pipeline import PlanCache
+    from repro.pipeline import plan as pipeline_plan
+
+    instance = _load_cli_instance(args)
+    result = pipeline_plan(
+        instance,
+        method=args.method,
+        seed=args.seed,
+        cache=None if args.no_cache else PlanCache(),
+        parallel=args.parallel,
+        workers=args.workers,
+        certify=args.certify,
+    )
+    schedule = result.schedule
+    print(
+        f"# method={schedule.method} rounds={schedule.num_rounds} "
+        f"disks={instance.num_disks} items={instance.num_items}"
+    )
+    print(
+        f"# components={len(result.components)} "
+        f"solved={result.components_solved} cached={result.components_cached} "
+        f"parallel={result.parallel}"
+    )
+    print("stage timings:")
+    for stage in result.stage_timings:
+        print(f"  {stage:10s} {result.stage_timings[stage] * 1e3:9.3f} ms")
+    if result.components:
+        table = Table(
+            "components", ["#", "disks", "items", "method", "rounds", "cached"]
+        )
+        for comp in result.components:
+            table.add_row(
+                comp.index, comp.num_disks, comp.num_items,
+                comp.method, comp.rounds, "yes" if comp.cached else "no",
+            )
+        print(table.render())
+    if args.certify:
+        print(
+            f"verified lower bound: {result.lower_bound}; "
+            f"certified optimal: {result.certified_optimal}"
+        )
     return 0
 
 
@@ -206,6 +259,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
     scenario = _SCENARIOS[name](seed=args.seed)
     trace = JsonlTraceWriter(args.trace, append=resuming) if args.trace else None
+    # One cache for the run: the initial plan populates it and crash
+    # replans re-solve only the components the crash touched.
+    from repro.pipeline import PlanCache
+    from repro.pipeline import plan as pipeline_plan
+
+    plan_cache = PlanCache()
 
     if resuming:
         try:
@@ -219,18 +278,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             executor = restore_executor(
                 scenario.cluster, state, faults=faults, policy=policy,
                 time_model=args.time_model, method=args.method,
-                seed=args.seed, trace=trace,
+                seed=args.seed, trace=trace, plan_cache=plan_cache,
             )
         except CheckpointError as exc:
             print(f"cannot resume: {exc}", file=sys.stderr)
             return 2
         print(f"resumed from {args.checkpoint} at round {executor.rounds_executed}")
     else:
-        schedule = plan_migration(scenario.instance, method=args.method, seed=args.seed)
+        schedule = pipeline_plan(
+            scenario.instance, method=args.method, seed=args.seed,
+            cache=plan_cache,
+        ).schedule
         executor = MigrationExecutor(
             scenario.cluster, scenario.context, schedule,
             faults=faults, policy=policy, time_model=args.time_model,
             method=args.method, seed=args.seed, trace=trace,
+            plan_cache=plan_cache,
         )
 
     remaining = args.max_rounds
@@ -396,6 +459,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat the input as a JSON instance (see `generate`)",
     )
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="staged planning pipeline: stage timings, per-component "
+             "attribution, caching, parallel solving",
+    )
+    p_plan.add_argument("moves_file")
+    p_plan.add_argument("--method", choices=METHODS, default="auto")
+    p_plan.add_argument("--default-capacity", type=int, default=1)
+    p_plan.add_argument(
+        "--json", action="store_true",
+        help="treat the input as a JSON instance (see `generate`)",
+    )
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--parallel", action="store_true",
+                        help="solve components in a process pool")
+    p_plan.add_argument("--workers", type=int, default=None,
+                        help="pool width for --parallel")
+    p_plan.add_argument("--no-cache", action="store_true",
+                        help="disable the component plan cache")
+    p_plan.add_argument("--certify", action="store_true",
+                        help="compose and verify a per-component "
+                             "lower-bound certificate")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_gen = sub.add_parser("generate", help="write a workload instance to JSON")
     p_gen.add_argument("output")

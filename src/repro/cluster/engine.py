@@ -23,6 +23,7 @@ reporting stranded items.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -38,9 +39,34 @@ from repro.cluster.events import (
 from repro.cluster.item import ItemId
 from repro.cluster.layout import Layout
 from repro.cluster.system import MigrationPlanContext, StorageCluster
+from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 
 TIME_MODELS = ("unit", "bandwidth_split")
+
+
+def _call_planner(
+    planner: Callable[..., MigrationSchedule],
+    instance: MigrationInstance,
+    seed: Optional[int],
+) -> MigrationSchedule:
+    """Invoke a replan callback, forwarding ``seed`` when it can take one.
+
+    Signature inspection (rather than try/except on ``TypeError``)
+    keeps genuine planner bugs loud.
+    """
+    if seed is None:
+        return planner(instance)
+    try:
+        params = inspect.signature(planner).parameters
+    except (TypeError, ValueError):
+        return planner(instance)
+    accepts_seed = "seed" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    if accepts_seed:
+        return planner(instance, seed=seed)
+    return planner(instance)
 
 
 @dataclass
@@ -169,6 +195,7 @@ class MigrationEngine:
         failed_disk: DiskId,
         planner: Callable[..., MigrationSchedule],
         reassign: Optional[Callable[[ItemId], DiskId]] = None,
+        seed: Optional[int] = None,
     ) -> ExecutionReport:
         """Execute, survive a disk failure, replan, and finish.
 
@@ -181,6 +208,10 @@ class MigrationEngine:
 
         Args:
             planner: e.g. ``lambda inst: plan_migration(inst)``.
+            seed: forwarded to the planner (as ``seed=``) when given
+                and the planner accepts it, so replans are reproducible
+                run to run.  Planners without a ``seed`` parameter are
+                called exactly as before.
         """
         rep = self.execute(
             context,
@@ -217,7 +248,7 @@ class MigrationEngine:
                 item_id, pick(item_id) if wanted == failed_disk else wanted
             )
         new_context = self.cluster.migration_to(new_target)
-        new_schedule = planner(new_context.instance)
+        new_schedule = _call_planner(planner, new_context.instance, seed)
         rep.replans += 1
         rep.log.record(
             MigrationReplanned(

@@ -7,7 +7,8 @@
   ``S`` (Lemma 3.1).
 
 ``LB2`` maximizes over exponentially many subsets.  :func:`lb2_exact`
-enumerates subsets and is intended for small graphs (``n <= ~16``);
+enumerates subsets and is intended for small graphs
+(``n <= EXACT_LB2_NODE_LIMIT``);
 :func:`lb2` evaluates a polynomial family of candidate subsets (node
 pairs, components, capacity-aware peeling orders) and is a certified
 lower bound — every candidate's value is a true bound, we simply may
@@ -28,6 +29,14 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.problem import MigrationInstance
 from repro.graphs.multigraph import Node
+
+#: Node-count cutoff below which LB2 is computed by exhaustive subset
+#: enumeration (``2^n`` subsets, each an ``O(m)`` scan — at 14 nodes
+#: that is ~16k subsets, milliseconds; every doubling of the budget
+#: costs 2×).  The single source of truth: :func:`lb2_exact`,
+#: :func:`lower_bound` and :mod:`repro.checks.certify` all key off it,
+#: so "exact when small" means the same thing everywhere.
+EXACT_LB2_NODE_LIMIT = 14
 
 
 def lb1(instance: MigrationInstance) -> int:
@@ -74,7 +83,7 @@ def subset_bound(instance: MigrationInstance, subset: Iterable[Node]) -> int:
     return math.ceil(edges_inside / half_capacity)
 
 
-def lb2_exact(instance: MigrationInstance, max_nodes: int = 16) -> int:
+def lb2_exact(instance: MigrationInstance, max_nodes: int = EXACT_LB2_NODE_LIMIT) -> int:
     """Exact ``Γ'`` by exhaustive subset enumeration.
 
     Raises:
@@ -85,7 +94,7 @@ def lb2_exact(instance: MigrationInstance, max_nodes: int = 16) -> int:
 
 
 def lb2_exact_witness(
-    instance: MigrationInstance, max_nodes: int = 16
+    instance: MigrationInstance, max_nodes: int = EXACT_LB2_NODE_LIMIT
 ) -> Tuple[List[Node], int]:
     """Exact ``Γ'`` plus a maximizing subset (empty list when Γ' = 0).
 
@@ -214,11 +223,12 @@ def lower_bound(instance: MigrationInstance, exact_small: bool = True) -> int:
     """``max(LB1, LB2)`` — the certified lower bound used everywhere.
 
     Args:
-        exact_small: when the graph has at most 14 nodes, compute LB2
-            exactly instead of heuristically.
+        exact_small: when the graph has at most
+            :data:`EXACT_LB2_NODE_LIMIT` nodes, compute LB2 exactly
+            instead of heuristically.
     """
-    if exact_small and instance.graph.num_nodes <= 14:
-        gamma = lb2_exact(instance, max_nodes=14)
+    if exact_small and instance.graph.num_nodes <= EXACT_LB2_NODE_LIMIT:
+        gamma = lb2_exact(instance, max_nodes=EXACT_LB2_NODE_LIMIT)
     else:
         gamma = lb2(instance)
     return max(lb1(instance), gamma)

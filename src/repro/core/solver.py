@@ -1,46 +1,43 @@
-"""The public scheduling entry point.
+"""The public scheduling entry point (compatibility wrapper).
 
-:func:`plan_migration` dispatches to the right algorithm:
+:func:`plan_migration` is the historical flat interface: give it an
+instance and a method name, get a validated schedule back.  Since the
+pipeline refactor it is a thin delegation to
+:func:`repro.pipeline.plan`, which stages the same work as
+normalize → decompose → select → solve → merge and adds per-component
+solver selection on ``"auto"`` (an even-capacity or bipartite
+component inside a mixed instance now gets its optimal algorithm).
 
-* every ``c_v`` even  → the optimal Section-IV scheduler;
-* otherwise           → the Section-V ``(1 + o(1))``-approximation;
+Callers who want stage timings, per-component attribution, plan
+caching, parallel solving or lower-bound certification should call
+:func:`repro.pipeline.plan` directly and read the
+:class:`~repro.pipeline.planner.PlanResult`; this wrapper exists so
+the large body of existing callers (and the paper-facing examples)
+keep their one-line interface.
 
-with explicit ``method=`` overrides for the baselines, the exact
-brute-force solver and forced algorithm choices.  Every schedule
-returned is validated against the instance before it leaves.
+Method names:
+
+* ``"auto"`` — per-component automatic selection: the optimal
+  Section-IV scheduler where every ``c_v`` is even, the optimal
+  bipartite scheduler on bipartite components, the Section-V
+  ``(1 + o(1))``-approximation otherwise;
+* anything else — a forced monolithic run of that algorithm, exactly
+  as before the refactor.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
-from repro.core.baselines import (
-    even_rounding_schedule,
-    greedy_schedule,
-    homogeneous_schedule,
-    saia_schedule,
-)
-from repro.core.even_optimal import even_optimal_schedule
-from repro.core.exact import exact_optimum
-from repro.core.general import GeneralSolverStats, general_schedule
+from repro.core.general import GeneralSolverStats
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.core.special_cases import (
-    bipartite_optimal_schedule,
-    is_bipartite_instance,
-)
+from repro.pipeline.planner import plan
+from repro.pipeline.registry import solver_names
 
-METHODS = (
-    "auto",
-    "even_optimal",
-    "bipartite_optimal",
-    "general",
-    "saia",
-    "homogeneous",
-    "greedy",
-    "even_rounding",
-    "exact",
-)
+#: All accepted ``method=`` values.  Built from the pipeline's solver
+#: registry, so registering a new solver extends this automatically.
+METHODS = ("auto",) + solver_names()
 
 
 def plan_migration(
@@ -53,10 +50,12 @@ def plan_migration(
 
     Args:
         instance: transfer graph + per-disk constraints.
-        method: one of :data:`METHODS`.  ``"auto"`` picks the optimal
-            even-capacity algorithm when all constraints are even and
-            the general approximation otherwise.
-        seed: randomness seed (used by the general algorithm's sweeps).
+        method: one of :data:`METHODS`.  ``"auto"`` selects the best
+            applicable solver per connected component; other values
+            force that algorithm on the whole instance.
+        seed: randomness seed (used by the general algorithm's sweeps;
+            under ``"auto"`` each component draws a deterministic
+            derived seed).
         stats: optional :class:`GeneralSolverStats` collector, filled
             when the general algorithm runs.
 
@@ -66,34 +65,4 @@ def plan_migration(
     Raises:
         ValueError: for an unknown method.
     """
-    if method == "auto":
-        if instance.all_even():
-            method = "even_optimal"
-        elif is_bipartite_instance(instance):
-            # Bipartite transfer graphs (disk add/remove shapes) are
-            # optimally solvable for arbitrary c_v — see special_cases.
-            method = "bipartite_optimal"
-        else:
-            method = "general"
-
-    if method == "even_optimal":
-        schedule = even_optimal_schedule(instance)
-    elif method == "bipartite_optimal":
-        schedule = bipartite_optimal_schedule(instance)
-    elif method == "general":
-        schedule = general_schedule(instance, seed=seed, stats=stats)
-    elif method == "saia":
-        schedule = saia_schedule(instance)
-    elif method == "homogeneous":
-        schedule = homogeneous_schedule(instance)
-    elif method == "greedy":
-        schedule = greedy_schedule(instance)
-    elif method == "even_rounding":
-        schedule = even_rounding_schedule(instance)
-    elif method == "exact":
-        schedule = exact_optimum(instance)
-    else:
-        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
-
-    schedule.validate(instance)
-    return schedule
+    return plan(instance, method=method, seed=seed, stats=stats).schedule

@@ -1,0 +1,76 @@
+"""repro.pipeline — the staged planning pipeline.
+
+``plan()`` runs normalize → decompose → select → solve → merge →
+certify and returns a :class:`PlanResult` carrying the validated
+schedule plus per-stage timings, per-component method attribution,
+and (when requested) a composed lower-bound certificate.
+
+:func:`repro.core.solver.plan_migration` is a thin wrapper over this
+package, kept for backward compatibility.
+"""
+
+from repro.pipeline.cache import CachedPlan, CacheStats, PlanCache
+from repro.pipeline.canonical import (
+    PairToken,
+    TokenRounds,
+    canonical_payload,
+    canonicalize_rounds,
+    derive_component_seed,
+    derive_restart_seed,
+    fingerprint,
+    rehydrate_rounds,
+)
+from repro.pipeline.parallel import GENERAL_SOLVE_RESTARTS
+from repro.pipeline.planner import (
+    PARALLEL_AUTO_THRESHOLD,
+    STAGES,
+    ComponentPlan,
+    PlanResult,
+    plan,
+)
+from repro.pipeline.registry import (
+    SolverSpec,
+    get_solver,
+    register_solver,
+    select_solver,
+    solver_names,
+)
+from repro.pipeline.stages import (
+    Component,
+    NormalizedProblem,
+    decompose,
+    merge,
+    merged_method_name,
+    normalize,
+)
+
+__all__ = [
+    "GENERAL_SOLVE_RESTARTS",
+    "PARALLEL_AUTO_THRESHOLD",
+    "STAGES",
+    "CachedPlan",
+    "CacheStats",
+    "Component",
+    "ComponentPlan",
+    "NormalizedProblem",
+    "PairToken",
+    "PlanCache",
+    "PlanResult",
+    "SolverSpec",
+    "TokenRounds",
+    "canonical_payload",
+    "canonicalize_rounds",
+    "decompose",
+    "derive_component_seed",
+    "derive_restart_seed",
+    "fingerprint",
+    "get_solver",
+    "merge",
+    "merged_method_name",
+    "normalize",
+    "plan",
+    "register_solver",
+    "rehydrate_rounds",
+    "select_solver",
+    "solver_names",
+]

@@ -1,0 +1,121 @@
+"""The canonical-instance-keyed plan and lower-bound cache.
+
+Replans after a fault usually touch one connected component of the
+transfer graph; every other component's instance is structurally
+unchanged (same nodes, capacities and pair multiset — only its edge
+ids differ, and fingerprints ignore those).  The cache makes those
+untouched components free:
+
+* **plan entries** are keyed by
+  ``(fingerprint, method, base seed)`` and hold the schedule in
+  pair-token form (:mod:`repro.pipeline.canonical`), so a hit
+  rehydrates against the new instance's edge ids;
+* **bound entries** are keyed by fingerprint alone and hold a
+  lower-bound certificate in its JSON form
+  (:func:`repro.checks.certify.certificate_to_json`) — LB witnesses
+  are statements about structure, not edge ids, so they survive
+  replans verbatim.
+
+Entries are evicted FIFO once ``max_entries`` is exceeded; insertion
+order is deterministic, so eviction is too.  The cache is in-memory
+and process-local by design — it rides inside a
+:class:`~repro.runtime.executor.MigrationExecutor` or a CLI
+invocation, not across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.pipeline.canonical import TokenRounds
+
+#: JSON form of a LowerBoundCertificate (opaque to the cache).
+BoundPayload = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One solved component schedule in edge-id-free form."""
+
+    method: str
+    rounds: TokenRounds
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by entry kind."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    bound_hits: int = 0
+    bound_misses: int = 0
+
+
+class PlanCache:
+    """FIFO-bounded cache of component plans and lower-bound payloads."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._plans: Dict[str, CachedPlan] = {}
+        self._bounds: Dict[str, BoundPayload] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def plan_key(fingerprint: str, method: str, seed: int) -> str:
+        return f"{fingerprint}:{method}:{seed}"
+
+    def get_plan(
+        self, fingerprint: str, method: str, seed: int
+    ) -> Optional[CachedPlan]:
+        entry = self._plans.get(self.plan_key(fingerprint, method, seed))
+        if entry is None:
+            self.stats.plan_misses += 1
+        else:
+            self.stats.plan_hits += 1
+        return entry
+
+    def put_plan(
+        self, fingerprint: str, method: str, seed: int, plan: CachedPlan
+    ) -> None:
+        self._plans[self.plan_key(fingerprint, method, seed)] = plan
+        self._evict(self._plans)
+
+    # ------------------------------------------------------------------
+    def get_bound(self, fingerprint: str) -> Optional[BoundPayload]:
+        entry = self._bounds.get(fingerprint)
+        if entry is None:
+            self.stats.bound_misses += 1
+        else:
+            self.stats.bound_hits += 1
+        return entry
+
+    def put_bound(self, fingerprint: str, payload: Mapping[str, Any]) -> None:
+        self._bounds[fingerprint] = dict(payload)
+        self._evict(self._bounds)
+
+    # ------------------------------------------------------------------
+    def _evict(self, table: Dict[str, Any]) -> None:
+        while len(table) > self.max_entries:
+            table.pop(next(iter(table)))
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._bounds.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans) + len(self._bounds)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(plans={len(self._plans)}, bounds={len(self._bounds)}, "
+            f"hits={self.stats.plan_hits}/{self.stats.bound_hits})"
+        )

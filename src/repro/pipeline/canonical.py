@@ -1,0 +1,145 @@
+"""Canonical instance forms: fingerprints, tokens, and derived seeds.
+
+The plan cache (:mod:`repro.pipeline.cache`) must recognize a transfer
+component *across replans*, even though every replan rebuilds the
+transfer multigraph and therefore reassigns edge ids.  Two layers make
+that possible:
+
+* a **fingerprint** — a SHA-256 digest of a canonical JSON payload
+  (nodes sorted by ``repr`` with their capacities; edges as a sorted
+  ``(u, v, multiplicity)`` list).  Structurally identical components
+  fingerprint identically no matter which edge ids they carry or what
+  order their nodes were inserted in;
+* **pair-slot tokens** — a schedule round is stored as
+  ``(u_repr, v_repr, k)`` triples, meaning "the ``k``-th parallel edge
+  between ``u`` and ``v`` in ascending edge-id order".  Items are
+  unit-size, so parallel edges are interchangeable and a token list
+  rehydrates against *any* instance with the same fingerprint.
+
+Canonicalize-then-rehydrate is applied even on cache misses, so a plan
+is byte-identical whether it was solved fresh or served from cache —
+the property the runtime's checkpoint/resume determinism contract
+depends on.
+
+Node ``repr`` collisions (two distinct nodes printing identically)
+would make tokens ambiguous; :func:`fingerprint` returns ``None`` for
+such instances and the pipeline simply skips caching them.
+
+:func:`derive_component_seed` folds the base seed and the fingerprint
+through SHA-256 so every component gets its own deterministic,
+``PYTHONHASHSEED``-independent randomness stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import EdgeId
+
+#: ``(u_repr, v_repr, slot)`` — one scheduled transfer, edge-id free.
+PairToken = Tuple[str, str, int]
+
+#: A full schedule in token form (tuple-of-tuples: hashable, immutable).
+TokenRounds = Tuple[Tuple[PairToken, ...], ...]
+
+
+def canonical_payload(instance: MigrationInstance) -> Optional[Dict[str, object]]:
+    """The canonical JSON-ready description of an instance.
+
+    Returns ``None`` when two distinct nodes share a ``repr`` — the
+    canonical form would be ambiguous, so such instances are never
+    cached.
+    """
+    reprs = sorted(repr(v) for v in instance.graph.nodes)
+    if len(set(reprs)) != len(reprs):
+        return None
+    nodes = sorted(
+        ((repr(v), instance.capacity(v)) for v in instance.graph.nodes),
+    )
+    pairs: Dict[Tuple[str, str], int] = {}
+    for _eid, u, v in instance.graph.edges():
+        a, b = sorted((repr(u), repr(v)))
+        pairs[(a, b)] = pairs.get((a, b), 0) + 1
+    edges = sorted((a, b, count) for (a, b), count in pairs.items())
+    return {
+        "nodes": [[r, c] for r, c in nodes],
+        "edges": [[a, b, count] for a, b, count in edges],
+    }
+
+
+def fingerprint(instance: MigrationInstance) -> Optional[str]:
+    """SHA-256 hex digest of the canonical payload (``None`` if ambiguous)."""
+    payload = canonical_payload(instance)
+    if payload is None:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _pair_slots(instance: MigrationInstance) -> Dict[EdgeId, PairToken]:
+    """Map every edge id to its ``(u_repr, v_repr, slot)`` token."""
+    by_pair: Dict[Tuple[str, str], List[EdgeId]] = {}
+    for eid, u, v in instance.graph.edges():
+        a, b = sorted((repr(u), repr(v)))
+        by_pair.setdefault((a, b), []).append(eid)
+    token_of: Dict[EdgeId, PairToken] = {}
+    for (a, b), eids in by_pair.items():
+        for k, eid in enumerate(sorted(eids)):
+            token_of[eid] = (a, b, k)
+    return token_of
+
+
+def canonicalize_rounds(
+    instance: MigrationInstance, rounds: Sequence[Sequence[EdgeId]]
+) -> TokenRounds:
+    """Convert rounds of edge ids into sorted token rounds.
+
+    Tokens within a round are sorted, so the canonical form is
+    independent of the solver's internal edge ordering; round
+    boundaries (and hence the round count) are preserved exactly.
+    """
+    token_of = _pair_slots(instance)
+    return tuple(
+        tuple(sorted(token_of[eid] for eid in rnd)) for rnd in rounds if len(rnd) > 0
+    )
+
+
+def rehydrate_rounds(
+    instance: MigrationInstance, rounds: TokenRounds
+) -> List[List[EdgeId]]:
+    """Resolve token rounds back to edge ids of ``instance``.
+
+    Raises:
+        KeyError: if a token names a pair/slot the instance does not
+            have — the caller mixed up fingerprints.
+    """
+    eid_of: Dict[PairToken, EdgeId] = {
+        token: eid for eid, token in _pair_slots(instance).items()
+    }
+    return [[eid_of[token] for token in rnd] for rnd in rounds]
+
+
+def derive_component_seed(seed: int, component_fingerprint: str) -> int:
+    """A per-component seed from the base seed and the fingerprint.
+
+    Deterministic across processes and ``PYTHONHASHSEED`` values (it
+    never touches ``hash()``), and stable across replans: an unchanged
+    component keeps its randomness stream, so its re-solve — cached or
+    not — reproduces the same schedule.
+    """
+    blob = f"{seed}:{component_fingerprint}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def derive_restart_seed(seed: int, attempt: int) -> int:
+    """A fresh seed for restart ``attempt`` of a randomized solver.
+
+    Same guarantees as :func:`derive_component_seed`: deterministic,
+    process-independent, ``PYTHONHASHSEED``-independent.  Attempt 0 is
+    reserved for the original seed and never derived.
+    """
+    blob = f"restart:{seed}:{attempt}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")

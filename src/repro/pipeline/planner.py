@@ -1,0 +1,442 @@
+"""The staged planner: normalize → decompose → select → solve → merge → certify.
+
+:func:`plan` is the pipeline's one entry point.  It subsumes the old
+flat ``plan_migration`` dispatch (which survives as a thin wrapper in
+:mod:`repro.core.solver`) and adds what the flat dispatcher could not
+express:
+
+* **per-component solver selection** — an even-capacity or bipartite
+  component is promoted to its optimal algorithm even when the global
+  instance is mixed-parity;
+* **per-component restarts** — a randomized solver that lands above a
+  component's lower bound is retried with derived seeds
+  (:data:`repro.pipeline.parallel.GENERAL_SOLVE_RESTARTS`), which is
+  affordable precisely because a restart re-solves one small component
+  rather than the whole instance;
+* **per-component lower bounds** — LB1/LB2 decompose exactly over
+  components (see :mod:`repro.pipeline.stages`), and a ≤14-node
+  component gets the *exhaustive* LB2 even inside an arbitrarily large
+  instance;
+* **plan caching** — replans that touch one component re-solve only
+  that component (:mod:`repro.pipeline.cache`);
+* **parallel solving** — independent components solve concurrently
+  (:mod:`repro.pipeline.parallel`) with per-component derived seeds
+  and an order-stable merge, so the schedule is byte-identical to a
+  serial solve.
+
+Determinism contract: ``plan(instance, method, seed)`` is a pure
+function of its arguments — cache state, parallelism and interruption
+history change only *how much work* is done, never the bytes of the
+resulting schedule.  Stage timings are diagnostics and exempt (they
+are wall-clock measurements by nature).
+
+A forced ``method=`` (anything but ``"auto"``) solves monolithically,
+exactly like the legacy dispatcher: forcing a method means "run this
+algorithm on this instance", and baselines keep their comparative
+meaning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.general import GeneralSolverStats
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.pipeline.cache import CachedPlan, PlanCache
+from repro.pipeline.canonical import (
+    TokenRounds,
+    canonicalize_rounds,
+    derive_component_seed,
+    fingerprint,
+    rehydrate_rounds,
+)
+from repro.pipeline.parallel import SolveJob, solve_job, solve_jobs
+from repro.pipeline.registry import SolverSpec, get_solver, select_solver
+from repro.pipeline.stages import (
+    Component,
+    decompose,
+    merge,
+    merged_method_name,
+    normalize,
+)
+
+#: pipeline stages, in execution order (the timing dict's key set).
+STAGES = ("normalize", "decompose", "select", "solve", "merge", "certify")
+
+#: estimated work units above which ``parallel="auto"`` spawns a pool
+#: (roughly: edge-membership operations inside the solver + LB search).
+PARALLEL_AUTO_THRESHOLD = 4_000_000
+
+
+@dataclass(frozen=True)
+class ComponentPlan:
+    """Attribution record for one solved (or cache-served) component."""
+
+    index: int
+    num_disks: int
+    num_items: int
+    method: str
+    rounds: int
+    seed: int
+    cached: bool
+    fingerprint: Optional[str]
+
+
+@dataclass
+class PlanResult:
+    """Everything :func:`plan` learned while producing the schedule."""
+
+    schedule: MigrationSchedule
+    requested_method: str
+    components: List[ComponentPlan] = field(default_factory=list)
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    parallel: bool = False
+    workers: int = 1
+    #: verified ``max(LB1, LB2)``; ``None`` unless ``certify=True``.
+    lower_bound: Optional[int] = None
+    #: the composed lower-bound certificate (``certify=True`` only).
+    certificate: Optional[Any] = None
+    certified_optimal: Optional[bool] = None
+
+    @property
+    def num_rounds(self) -> int:
+        return self.schedule.num_rounds
+
+    @property
+    def components_solved(self) -> int:
+        """Components that ran a solver this call (cache misses)."""
+        return sum(1 for c in self.components if not c.cached)
+
+    @property
+    def components_cached(self) -> int:
+        """Components served from the plan cache without solving."""
+        return sum(1 for c in self.components if c.cached)
+
+    def methods_used(self) -> Dict[str, int]:
+        """``method -> component count`` attribution."""
+        used: Dict[str, int] = {}
+        for comp in self.components:
+            used[comp.method] = used.get(comp.method, 0) + 1
+        return used
+
+
+def _estimated_cost(component: Component) -> int:
+    """Rough solver + lower-bound work units for one component.
+
+    The dominant kernel for small components is the exhaustive LB2
+    (``2^n`` subsets, each an ``O(m)`` scan) the general solver runs
+    for graphs of ≤ 14 nodes; larger components cost roughly ``n·m``.
+    """
+    n = component.num_disks
+    m = component.num_items
+    if n <= 14:
+        return m * (1 << n)
+    return m * n
+
+
+def _round_trip(
+    instance: MigrationInstance,
+    schedule: MigrationSchedule,
+    fp: Optional[str],
+) -> MigrationSchedule:
+    """Canonicalize-and-rehydrate so output bytes never depend on the
+    solver's internal edge ordering (or on cache hit/miss history)."""
+    if fp is None:
+        return schedule
+    tokens = canonicalize_rounds(instance, schedule.rounds)
+    rounds = rehydrate_rounds(instance, tokens)
+    return MigrationSchedule(rounds, method=schedule.method)
+
+
+def plan(
+    instance: MigrationInstance,
+    method: str = "auto",
+    seed: int = 0,
+    stats: Optional[GeneralSolverStats] = None,
+    *,
+    cache: Optional[PlanCache] = None,
+    parallel: Union[bool, str] = False,
+    workers: Optional[int] = None,
+    certify: bool = False,
+) -> PlanResult:
+    """Plan a migration through the staged pipeline.
+
+    Args:
+        instance: transfer graph + per-disk constraints.
+        method: ``"auto"`` for decomposed per-component selection, or
+            any registered solver name for a monolithic forced solve.
+        seed: base randomness seed.  Component solves draw from seeds
+            derived per component fingerprint, so unchanged components
+            reproduce their schedules across replans.
+        stats: optional :class:`GeneralSolverStats`, filled by general
+            solves.  Providing it disables caching and parallelism for
+            this call (diagnostics require an in-process solve); under
+            ``"auto"`` with several general components the counters
+            accumulate and the scalar fields reflect the last one.
+        cache: optional :class:`PlanCache` consulted and populated per
+            component (and per bound when certifying).
+        parallel: ``False`` (serial), ``True`` (always pool when ≥ 2
+            components miss the cache), or ``"auto"`` (pool only when
+            the estimated work clears :data:`PARALLEL_AUTO_THRESHOLD`).
+        workers: pool width for parallel solving.
+        certify: verify the schedule and compose a per-component
+            lower-bound certificate (fills ``lower_bound``,
+            ``certificate`` and ``certified_optimal``).  Off by
+            default: exhaustive small-component LB2 is exponential
+            work the hot planning path must not pay implicitly.
+
+    Returns:
+        A :class:`PlanResult`; its schedule is already validated.
+
+    Raises:
+        ValueError: for an unknown method.
+    """
+    timings: Dict[str, float] = {name: 0.0 for name in STAGES}
+    result = PlanResult(
+        schedule=MigrationSchedule([], method=method),
+        requested_method=method,
+        stage_timings=timings,
+    )
+    if stats is not None:
+        cache = None
+        parallel = False
+
+    t0 = time.perf_counter()
+    normalized = normalize(instance)
+    timings["normalize"] = time.perf_counter() - t0
+
+    if method != "auto":
+        _plan_forced(instance, method, seed, stats, cache, result)
+    else:
+        _plan_auto(instance, normalized.empty, seed, stats, cache,
+                   parallel, workers, result)
+
+    t0 = time.perf_counter()
+    result.schedule.validate(instance)
+    if certify:
+        _certify(instance, result, cache)
+    timings["certify"] = time.perf_counter() - t0
+    return result
+
+
+# ----------------------------------------------------------------------
+# forced (monolithic) path
+# ----------------------------------------------------------------------
+
+def _plan_forced(
+    instance: MigrationInstance,
+    method: str,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+    cache: Optional[PlanCache],
+    result: PlanResult,
+) -> None:
+    spec = get_solver(method)
+    t0 = time.perf_counter()
+    fp = fingerprint(instance)
+    cached = False
+    schedule: Optional[MigrationSchedule] = None
+    if cache is not None and fp is not None:
+        hit = cache.get_plan(fp, spec.name, seed)
+        if hit is not None:
+            schedule = MigrationSchedule(
+                rehydrate_rounds(instance, hit.rounds), method=hit.method
+            )
+            cached = True
+    if schedule is None:
+        schedule = _round_trip(instance, spec.solve(instance, seed, stats), fp)
+        if cache is not None and fp is not None:
+            cache.put_plan(
+                fp, spec.name, seed,
+                CachedPlan(
+                    method=schedule.method,
+                    rounds=canonicalize_rounds(instance, schedule.rounds),
+                ),
+            )
+    result.stage_timings["solve"] = time.perf_counter() - t0
+    result.schedule = schedule
+    result.components = [
+        ComponentPlan(
+            index=0,
+            num_disks=instance.num_disks,
+            num_items=instance.num_items,
+            method=schedule.method,
+            rounds=schedule.num_rounds,
+            seed=seed,
+            cached=cached,
+            fingerprint=fp,
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# auto (decomposed) path
+# ----------------------------------------------------------------------
+
+def _plan_auto(
+    instance: MigrationInstance,
+    empty: bool,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+    cache: Optional[PlanCache],
+    parallel: Union[bool, str],
+    workers: Optional[int],
+    result: PlanResult,
+) -> None:
+    t0 = time.perf_counter()
+    components = decompose(instance)
+    result.stage_timings["decompose"] = time.perf_counter() - t0
+
+    if not components:
+        # Nothing to move; resolve exactly like the legacy dispatcher
+        # (an empty instance is trivially all-even).
+        spec = select_solver(instance)
+        schedule = spec.solve(instance, seed, stats)
+        schedule.validate(instance)
+        result.schedule = schedule
+        return
+
+    t0 = time.perf_counter()
+    selections: List[SolverSpec] = [
+        select_solver(comp.instance) for comp in components
+    ]
+    result.stage_timings["select"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    seeds: List[int] = []
+    outcomes: List[Optional[Tuple[TokenRounds, str]]] = [None] * len(components)
+    cached_flags = [False] * len(components)
+    for k, (comp, spec) in enumerate(zip(components, selections)):
+        comp_seed = (
+            derive_component_seed(seed, comp.fingerprint)
+            if comp.fingerprint is not None
+            else seed
+        )
+        seeds.append(comp_seed)
+        if cache is not None and comp.fingerprint is not None:
+            hit = cache.get_plan(comp.fingerprint, spec.name, seed)
+            if hit is not None:
+                outcomes[k] = (hit.rounds, hit.method)
+                cached_flags[k] = True
+
+    miss_indices = [k for k, out in enumerate(outcomes) if out is None]
+    jobs: List[SolveJob] = [
+        (components[k].instance, selections[k].name, seeds[k])
+        for k in miss_indices
+    ]
+    use_pool = _should_parallelize(parallel, [components[k] for k in miss_indices])
+    if use_pool:
+        solved = solve_jobs(jobs, max_workers=workers)
+    else:
+        solved = [solve_job(job, stats) for job in jobs]
+    for k, outcome in zip(miss_indices, solved):
+        outcomes[k] = outcome
+        comp, spec = components[k], selections[k]
+        if cache is not None and comp.fingerprint is not None:
+            cache.put_plan(
+                comp.fingerprint, spec.name, seed,
+                CachedPlan(method=outcome[1], rounds=outcome[0]),
+            )
+    result.stage_timings["solve"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    component_rounds = []
+    methods = []
+    for comp, outcome in zip(components, outcomes):
+        assert outcome is not None  # every index is filled above
+        tokens, solver_method = outcome
+        component_rounds.append(rehydrate_rounds(comp.instance, tokens))
+        methods.append(solver_method)
+    result.schedule = merge(instance, component_rounds, methods)
+    result.stage_timings["merge"] = time.perf_counter() - t0
+
+    result.parallel = use_pool
+    result.workers = workers if (use_pool and workers) else 1
+    result.components = [
+        ComponentPlan(
+            index=comp.index,
+            num_disks=comp.num_disks,
+            num_items=comp.num_items,
+            method=outcomes[k][1] if outcomes[k] else selections[k].name,
+            rounds=len(outcomes[k][0]) if outcomes[k] else 0,
+            seed=seeds[k],
+            cached=cached_flags[k],
+            fingerprint=comp.fingerprint,
+        )
+        for k, comp in enumerate(components)
+    ]
+
+
+def _should_parallelize(
+    parallel: Union[bool, str], miss_components: Sequence[Component]
+) -> bool:
+    if parallel is False or len(miss_components) < 2:
+        return False
+    if parallel is True:
+        return True
+    if parallel == "auto":
+        total = sum(_estimated_cost(c) for c in miss_components)
+        return total >= PARALLEL_AUTO_THRESHOLD
+    raise ValueError(f"parallel must be True, False or 'auto', got {parallel!r}")
+
+
+# ----------------------------------------------------------------------
+# certify stage
+# ----------------------------------------------------------------------
+
+def _certify(
+    instance: MigrationInstance,
+    result: PlanResult,
+    cache: Optional[PlanCache],
+) -> None:
+    """Compose a per-component lower-bound certificate and verify it.
+
+    Imported lazily: :mod:`repro.checks` sits outside the dependency
+    stack (its typegate imports the top-level package), so a static
+    import here would be circular during interpreter start-up.
+    """
+    from repro.checks.certify import (
+        LowerBoundCertificate,
+        certificate_from_json,
+        certificate_to_json,
+        certify as checks_certify,
+        make_certificate,
+    )
+
+    components = decompose(instance)
+    certs: List[LowerBoundCertificate] = []
+    for comp in components:
+        payload = (
+            cache.get_bound(comp.fingerprint)
+            if cache is not None and comp.fingerprint is not None
+            else None
+        )
+        if payload is None:
+            cert = make_certificate(comp.instance)
+            if cache is not None and comp.fingerprint is not None:
+                cache.put_bound(comp.fingerprint, certificate_to_json(cert))
+        else:
+            cert = certificate_from_json(payload, comp.instance)
+        certs.append(cert)
+
+    lb1_candidates = [c.lb1 for c in certs if c.lb1 is not None]
+    lb2_candidates = [c.lb2 for c in certs if c.lb2 is not None]
+    best_lb1 = max(lb1_candidates, key=lambda w: w.bound, default=None)
+    best_lb2 = max(lb2_candidates, key=lambda w: w.bound, default=None)
+    bound = max(
+        best_lb1.bound if best_lb1 is not None else 0,
+        best_lb2.bound if best_lb2 is not None else 0,
+    )
+    composed = LowerBoundCertificate(
+        bound=bound,
+        lb1=best_lb1,
+        lb2=best_lb2,
+        exact=all(c.exact for c in certs) if certs else True,
+    )
+    report = checks_certify(instance, result.schedule, certificate=composed)
+    result.lower_bound = report.lower_bound
+    result.certificate = composed
+    result.certified_optimal = report.certified_optimal

@@ -1,0 +1,240 @@
+"""The solver registry: the *select* stage's catalog.
+
+Every scheduling algorithm the pipeline can dispatch to is described by
+a :class:`SolverSpec` registered through :func:`register_solver`:
+
+* ``applicable(instance)`` — a cheap predicate deciding whether the
+  solver may run on an instance (e.g. the Section-IV optimal scheduler
+  requires every ``c_v`` even);
+* ``cost_hint`` — selection priority among applicable *auto* solvers
+  (lower wins); optimal special-case solvers carry low hints so an
+  even-capacity or bipartite **component** is promoted to its optimal
+  algorithm even inside a globally mixed instance;
+* ``auto`` — whether the solver participates in automatic selection
+  (baselines are registered but only reachable by explicit
+  ``method=`` so comparisons keep working).
+
+The built-in catalog reproduces the legacy ``plan_migration`` dispatch
+order exactly — even-optimal before bipartite before general — via the
+cost hints, so single-solver instances keep their historical method
+names while mixed instances gain per-component promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.baselines import (
+    even_rounding_schedule,
+    greedy_schedule,
+    homogeneous_schedule,
+    saia_schedule,
+)
+from repro.core.even_optimal import even_optimal_schedule
+from repro.core.exact import exact_optimum
+from repro.core.general import GeneralSolverStats, general_schedule
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.core.special_cases import (
+    bipartite_optimal_schedule,
+    is_bipartite_instance,
+)
+
+#: ``solve(instance, seed, stats)`` — the uniform solver signature.
+#: Solvers without randomness or diagnostics ignore the extra args.
+SolveFn = Callable[
+    [MigrationInstance, int, Optional[GeneralSolverStats]], MigrationSchedule
+]
+
+ApplicableFn = Callable[[MigrationInstance], bool]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered scheduling algorithm."""
+
+    name: str
+    solve: SolveFn
+    applicable: ApplicableFn
+    cost_hint: int
+    optimal: bool
+    auto: bool
+    randomized: bool  # output depends on the seed → restarts can help
+    order: int  # registration order; breaks cost_hint ties deterministically
+
+
+_REGISTRY: Dict[str, SolverSpec] = {}
+
+
+def register_solver(
+    name: str,
+    *,
+    applicable: Optional[ApplicableFn] = None,
+    cost_hint: int = 1000,
+    optimal: bool = False,
+    auto: bool = False,
+    randomized: bool = False,
+) -> Callable[[SolveFn], SolveFn]:
+    """Register a solver under ``name``; use as a decorator.
+
+    Args:
+        name: the public method name (``plan_migration``'s ``method=``).
+        applicable: predicate gating the solver (default: always).
+        cost_hint: auto-selection priority — lower wins among
+            applicable auto solvers.
+        optimal: the solver is exactly optimal on its applicable class.
+        auto: participates in automatic selection.
+        randomized: output depends on the seed, so the pipeline's solve
+            stage may restart the solver with derived seeds when a
+            component comes out above its lower bound.
+
+    Raises:
+        ValueError: on duplicate registration.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"solver {name!r} is already registered")
+
+    def decorate(fn: SolveFn) -> SolveFn:
+        _REGISTRY[name] = SolverSpec(
+            name=name,
+            solve=fn,
+            applicable=applicable if applicable is not None else (lambda _inst: True),
+            cost_hint=cost_hint,
+            optimal=optimal,
+            auto=auto,
+            randomized=randomized,
+            order=len(_REGISTRY),
+        )
+        return fn
+
+    return decorate
+
+
+def solver_names() -> Tuple[str, ...]:
+    """All registered method names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Look up a solver by method name.
+
+    Raises:
+        ValueError: for an unknown method (lists the catalog).
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        expected = ("auto",) + solver_names()
+        raise ValueError(f"unknown method {name!r}; expected one of {expected}")
+    return spec
+
+
+def select_solver(instance: MigrationInstance) -> SolverSpec:
+    """The *select* stage: cheapest applicable auto solver.
+
+    Raises:
+        ValueError: if no auto solver applies (cannot happen with the
+            built-in catalog — the general solver is always
+            applicable).
+    """
+    candidates = [
+        spec
+        for spec in _REGISTRY.values()
+        if spec.auto and spec.applicable(instance)
+    ]
+    if not candidates:
+        raise ValueError(f"no applicable auto solver for {instance!r}")
+    return min(candidates, key=lambda spec: (spec.cost_hint, spec.order))
+
+
+# ----------------------------------------------------------------------
+# built-in catalog (registration order == legacy METHODS order)
+# ----------------------------------------------------------------------
+
+@register_solver(
+    "even_optimal",
+    applicable=lambda inst: inst.all_even(),
+    cost_hint=10,
+    optimal=True,
+    auto=True,
+)
+def _solve_even_optimal(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return even_optimal_schedule(instance)
+
+
+@register_solver(
+    "bipartite_optimal",
+    applicable=is_bipartite_instance,
+    cost_hint=20,
+    optimal=True,
+    auto=True,
+)
+def _solve_bipartite_optimal(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return bipartite_optimal_schedule(instance)
+
+
+@register_solver("general", cost_hint=100, auto=True, randomized=True)
+def _solve_general(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return general_schedule(instance, seed=seed, stats=stats)
+
+
+@register_solver("saia", cost_hint=400)
+def _solve_saia(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return saia_schedule(instance)
+
+
+@register_solver("homogeneous", cost_hint=500)
+def _solve_homogeneous(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return homogeneous_schedule(instance)
+
+
+@register_solver("greedy", cost_hint=600)
+def _solve_greedy(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return greedy_schedule(instance)
+
+
+@register_solver("even_rounding", cost_hint=700)
+def _solve_even_rounding(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return even_rounding_schedule(instance)
+
+
+@register_solver(
+    "exact",
+    applicable=lambda inst: inst.num_items <= 16,
+    cost_hint=50,
+    optimal=True,
+)
+def _solve_exact(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return exact_optimum(instance)

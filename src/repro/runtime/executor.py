@@ -10,8 +10,9 @@ per-transfer states (``pending → in-flight → done/failed``), so that:
 * individual transfer failures climb the policy ladder
   (retry with backoff → defer → replan, see :mod:`repro.runtime.policy`);
 * disk crashes at a simulated time strand unrecoverable items and
-  trigger a replan via :func:`repro.core.solver.plan_migration` on the
-  residual transfer graph;
+  trigger a replan via :func:`repro.pipeline.plan` on the residual
+  transfer graph — with an optional plan cache, only the components
+  the crash actually touched are re-solved;
 * execution can stop after any round (``run(max_rounds=...)``) and the
   full state — queue, retry counters, RNG, telemetry — snapshots to
   JSON (:mod:`repro.runtime.checkpoint`) and resumes bit-for-bit.
@@ -47,7 +48,8 @@ from repro.cluster.events import (
 from repro.cluster.item import ItemId
 from repro.cluster.system import MigrationPlanContext, StorageCluster
 from repro.core.schedule import MigrationSchedule
-from repro.core.solver import plan_migration
+from repro.pipeline.cache import PlanCache
+from repro.pipeline.planner import plan
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.policy import EscalationAction, RetryPolicy
 from repro.runtime.telemetry import JsonlTraceWriter, RuntimeTelemetry
@@ -102,6 +104,14 @@ class MigrationExecutor:
             ``method=``).
         seed: seeds the executor RNG (fault draws + backoff jitter).
         trace: optional :class:`JsonlTraceWriter`.
+        plan_cache: optional :class:`~repro.pipeline.cache.PlanCache`
+            shared with the planning pipeline.  When a crash touches
+            one connected component of the residual transfer graph,
+            replanning re-solves only that component and serves the
+            rest from cache (see the ``replan_components_*`` telemetry
+            counters).  Plans are byte-identical with or without the
+            cache, so the checkpoint/resume determinism contract is
+            unaffected.
     """
 
     def __init__(
@@ -117,12 +127,14 @@ class MigrationExecutor:
         method: str = "auto",
         seed: int = 0,
         trace: Optional[JsonlTraceWriter] = None,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.cluster = cluster
         self.faults = FaultInjector(faults if faults is not None else FaultPlan())
         self.policy = policy if policy is not None else RetryPolicy()
         self.method = method
         self.seed = seed
+        self.plan_cache = plan_cache
         self._engine = MigrationEngine(cluster, time_model=time_model, rate_model=rate_model)
         self.time_model = time_model
         self._rng = random.Random(seed)
@@ -294,7 +306,19 @@ class MigrationExecutor:
                 continue
             new_target.place(item, dst)
         context = self.cluster.migration_to(new_target)
-        schedule = plan_migration(context.instance, method=self.method, seed=self.seed)
+        result = plan(
+            context.instance,
+            method=self.method,
+            seed=self.seed,
+            cache=self.plan_cache,
+        )
+        schedule = result.schedule
+        self.telemetry.count(
+            "replan_components_solved", result.components_solved
+        )
+        self.telemetry.count(
+            "replan_components_cached", result.components_cached
+        )
         self._install_plan(context)
         self._queue = [
             [context.edge_items[eid] for eid in rnd] for rnd in schedule.rounds
@@ -545,12 +569,15 @@ class MigrationExecutor:
         method: str = "auto",
         seed: int = 0,
         trace: Optional[JsonlTraceWriter] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> "MigrationExecutor":
         """Rebuild an executor from :meth:`get_state` output.
 
         ``cluster`` must be the *original* cluster, reconstructed the
         same way as for the interrupted run (e.g. the same scenario and
         seed); the snapshot replays crashes and the layout onto it.
+        The plan cache is transient (never checkpointed): resuming
+        without one only costs re-solves, never changes plans.
         """
         ex = cls(
             cluster,
@@ -563,6 +590,7 @@ class MigrationExecutor:
             method=method,
             seed=seed,
             trace=trace,
+            plan_cache=plan_cache,
         )
         ex._now = float(state["now"])
         ex._round_index = int(state["round_index"])

@@ -12,6 +12,7 @@ from repro.workloads.generators import (
     bipartite_instance,
     clique_instance,
     hotspot_instance,
+    multi_component_instance,
     random_instance,
     regular_instance,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "clique_instance",
     "bipartite_instance",
     "hotspot_instance",
+    "multi_component_instance",
     "regular_instance",
     "vod_rebalance_scenario",
     "scale_out_scenario",

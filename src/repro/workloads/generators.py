@@ -13,7 +13,10 @@ families the paper's analysis distinguishes:
 * :func:`hotspot_instance` — a few overloaded disks shedding load,
   producing high multiplicity where LB2 (Γ') binds;
 * :func:`regular_instance` — near-``d``-regular graphs where LB1 is
-  tight everywhere at once.
+  tight everywhere at once;
+* :func:`multi_component_instance` — several disjoint sub-instances of
+  mixed parity glued into one instance (the planning pipeline's
+  decomposition showcase).
 
 Capacity mixes are expressed as ``{c_value: fraction}``; see
 :func:`capacity_mix`.
@@ -134,6 +137,53 @@ def hotspot_instance(
         graph.add_edge(rng.choice(hot), rng.choice(cold))
     caps = {v: hot_capacity for v in hot}
     caps.update({v: cold_capacity for v in cold})
+    return MigrationInstance(graph, caps)
+
+
+def multi_component_instance(
+    num_components: int,
+    disks_per_component: int = 8,
+    items_per_component: int = 40,
+    seed: int = 0,
+) -> MigrationInstance:
+    """Disjoint mixed-parity sub-instances glued into one instance.
+
+    Component ``k`` is a connected random multigraph on its own disks
+    (``cN.diskM`` names keep components disjoint and canonically
+    ordered).  Capacity parities alternate by component — all-even,
+    bipartite-with-odd-capacities, mixed — so a monolithic ``auto``
+    dispatch sees a mixed instance and falls back to the general
+    approximation, while per-component selection can still run the
+    optimal even-capacity / bipartite algorithms where they apply.
+    """
+    if num_components < 1:
+        raise ValueError("need at least 1 component")
+    if disks_per_component < 2:
+        raise ValueError("need at least 2 disks per component")
+    rng = random.Random(seed)
+    graph = Multigraph()
+    caps: Dict[Node, int] = {}
+    for k in range(num_components):
+        nodes = [f"c{k}.disk{i}" for i in range(disks_per_component)]
+        for v in nodes:
+            graph.add_node(v)
+        # A spanning path first, so the component is connected and
+        # decomposition sees exactly `num_components` pieces.
+        for a, b in zip(nodes, nodes[1:]):
+            graph.add_edge(a, b)
+        for _ in range(max(0, items_per_component - (len(nodes) - 1))):
+            u, v = rng.sample(nodes, 2)
+            graph.add_edge(u, v)
+        flavor = k % 3
+        if flavor == 0:  # all-even: the Section-IV optimal class
+            for v in nodes:
+                caps[v] = rng.choice((2, 4))
+        elif flavor == 1:  # odd capacities: forces the general solver
+            for v in nodes:
+                caps[v] = rng.choice((1, 3))
+        else:  # mixed parity
+            for v in nodes:
+                caps[v] = rng.choice((1, 2, 3, 4))
     return MigrationInstance(graph, caps)
 
 

@@ -1,0 +1,59 @@
+"""The deprecation-shim contract: ``plan_migration`` ≡ pipeline ``plan``.
+
+Every METHODS entry must produce byte-identical canonical schedules
+through the legacy wrapper and the pipeline — same rounds, same order
+within rounds, same method label — so existing callers can migrate to
+:func:`repro.pipeline.plan` (or not) without output drift.
+"""
+
+import pytest
+
+from repro.core.problem import MigrationInstance
+from repro.core.solver import METHODS, plan_migration
+from repro.pipeline import plan
+
+from tests.conftest import even_instance, random_instance
+
+
+def instance_for(method: str) -> MigrationInstance:
+    """An instance on which ``method`` is applicable."""
+    if method == "even_optimal":
+        return even_instance(8, 24, seed=1)
+    if method == "bipartite_optimal":
+        return MigrationInstance.from_moves(
+            [("old0", "new0"), ("old0", "new1"), ("old1", "new0"),
+             ("old1", "new1"), ("old0", "new0")],
+            {"old0": 1, "old1": 2, "new0": 3, "new1": 1},
+        )
+    if method == "exact":
+        return random_instance(5, 8, seed=2)  # brute force needs few items
+    if method == "even_rounding":
+        return random_instance(9, 30, capacity_choices=(2, 3, 4), seed=3)
+    return random_instance(9, 30, seed=3)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_wrapper_is_byte_identical_to_pipeline(method):
+    inst = instance_for(method)
+    via_wrapper = plan_migration(inst, method=method, seed=5)
+    via_pipeline = plan(inst, method=method, seed=5).schedule
+    assert via_wrapper.rounds == via_pipeline.rounds
+    assert via_wrapper.method == via_pipeline.method
+    via_wrapper.validate(inst)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_wrapper_is_deterministic(method):
+    inst = instance_for(method)
+    a = plan_migration(inst, method=method, seed=7)
+    b = plan_migration(inst, method=method, seed=7)
+    assert a.rounds == b.rounds
+
+
+def test_methods_tuple_still_starts_with_auto():
+    assert METHODS[0] == "auto"
+
+
+def test_wrapper_unknown_method_message():
+    with pytest.raises(ValueError, match="unknown method"):
+        plan_migration(instance_for("general"), method="nope")

@@ -1,0 +1,66 @@
+"""Tests for the plan/bound cache."""
+
+import pytest
+
+from repro.pipeline.cache import CachedPlan, PlanCache
+
+FP = "f" * 64
+FP2 = "e" * 64
+
+
+def token_plan(num_rounds=2):
+    rounds = tuple(
+        ((f"'u{i}'", f"'v{i}'", 0),) for i in range(num_rounds)
+    )
+    return CachedPlan(method="general", rounds=rounds)
+
+
+class TestPlanEntries:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        assert cache.get_plan(FP, "general", 0) is None
+        cache.put_plan(FP, "general", 0, token_plan())
+        got = cache.get_plan(FP, "general", 0)
+        assert got is not None and got.num_rounds == 2
+        assert cache.stats.plan_misses == 1
+        assert cache.stats.plan_hits == 1
+
+    def test_key_includes_method_and_seed(self):
+        cache = PlanCache()
+        cache.put_plan(FP, "general", 0, token_plan())
+        assert cache.get_plan(FP, "greedy", 0) is None
+        assert cache.get_plan(FP, "general", 1) is None
+        assert cache.get_plan(FP2, "general", 0) is None
+
+    def test_eviction_is_fifo_and_bounded(self):
+        cache = PlanCache(max_entries=2)
+        for i in range(4):
+            cache.put_plan(f"{i:064d}", "general", 0, token_plan())
+        assert len(cache) == 2
+        assert cache.get_plan("0" * 64, "general", 0) is None
+        assert cache.get_plan(f"{3:064d}", "general", 0) is not None
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestBoundEntries:
+    def test_bound_round_trip_copies_payload(self):
+        cache = PlanCache()
+        payload = {"bound": 3, "lb1": {"node": "'a'", "value": 3}}
+        cache.put_bound(FP, payload)
+        payload["bound"] = 99  # caller mutation must not leak in
+        got = cache.get_bound(FP)
+        assert got == {"bound": 3, "lb1": {"node": "'a'", "value": 3}}
+        assert cache.stats.bound_hits == 1
+
+    def test_clear_resets_everything(self):
+        cache = PlanCache()
+        cache.put_plan(FP, "general", 0, token_plan())
+        cache.put_bound(FP, {"bound": 1})
+        cache.get_plan(FP, "general", 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.plan_hits == 0
+        assert cache.get_bound(FP) is None

@@ -1,0 +1,248 @@
+"""Tests for the staged planner: decomposition, caching, parallelism."""
+
+import pytest
+
+from repro.core.general import GeneralSolverStats, general_schedule
+from repro.core.lower_bounds import lower_bound
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import Multigraph
+from repro.pipeline import PlanCache, plan
+from repro.pipeline.parallel import solve_job
+from repro.pipeline.registry import get_solver
+from repro.pipeline.stages import decompose, merged_method_name
+from repro.workloads.generators import clique_instance, multi_component_instance
+
+from tests.conftest import even_instance, random_instance
+
+
+def mixed_two_component_instance():
+    """An even-capacity component and an odd-capacity one, disjoint."""
+    moves = [
+        # Component 1: all-even capacities (Section IV applies).
+        ("a", "b"), ("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"),
+        # Component 2: capacity-1 star (odd; bipartite).
+        ("x", "y"), ("x", "y"), ("x", "z"),
+    ]
+    caps = {"a": 2, "b": 2, "c": 4, "x": 1, "y": 1, "z": 1}
+    return MigrationInstance.from_moves(moves, caps)
+
+
+class TestDecompose:
+    def test_components_are_canonical_and_edge_bearing(self):
+        inst = mixed_two_component_instance()
+        graph = inst.graph
+        graph.add_node("idle")  # isolated disk: carried, never scheduled
+        comps = decompose(MigrationInstance(graph, {
+            **{v: inst.capacity(v) for v in inst.graph.nodes if v != "idle"},
+            "idle": 1,
+        }))
+        assert len(comps) == 2
+        assert [c.index for c in comps] == [0, 1]
+        assert {repr(v) for v in comps[0].instance.graph.nodes} == {"'a'", "'b'", "'c'"}
+        assert {repr(v) for v in comps[1].instance.graph.nodes} == {"'x'", "'y'", "'z'"}
+
+    def test_lower_bound_decomposes_as_max(self):
+        inst = multi_component_instance(4, disks_per_component=6,
+                                        items_per_component=25, seed=11)
+        comps = decompose(inst)
+        assert lower_bound(inst) == max(
+            lower_bound(c.instance) for c in comps
+        )
+
+    def test_component_edge_ids_are_parent_edge_ids(self):
+        inst = mixed_two_component_instance()
+        parent_edges = {eid for eid, _u, _v in inst.graph.edges()}
+        for comp in decompose(inst):
+            for eid, _u, _v in comp.instance.graph.edges():
+                assert eid in parent_edges
+
+
+class TestAutoDecomposedPlanning:
+    def test_per_component_promotion(self):
+        result = plan(mixed_two_component_instance())
+        assert result.methods_used() == {"even_optimal": 1, "bipartite_optimal": 1}
+        assert result.schedule.method == "pipeline(bipartite_optimal+even_optimal)"
+
+    def test_rounds_is_max_over_components(self):
+        result = plan(mixed_two_component_instance())
+        assert result.num_rounds == max(c.rounds for c in result.components)
+
+    def test_never_worse_than_monolithic_general(self):
+        for seed in range(8):
+            inst = multi_component_instance(4, disks_per_component=7,
+                                            items_per_component=30, seed=seed)
+            assert plan(inst).num_rounds <= general_schedule(inst, seed=0).num_rounds
+
+    def test_single_solver_keeps_plain_method_name(self):
+        result = plan(even_instance(8, 20, seed=3))
+        assert result.schedule.method == "even_optimal"
+
+    def test_stage_timings_cover_all_stages(self):
+        result = plan(mixed_two_component_instance())
+        assert set(result.stage_timings) == {
+            "normalize", "decompose", "select", "solve", "merge", "certify",
+        }
+        assert all(t >= 0.0 for t in result.stage_timings.values())
+
+    def test_empty_instance(self):
+        graph = Multigraph(nodes=["a", "b"])
+        result = plan(MigrationInstance(graph, {"a": 2, "b": 2}))
+        assert result.num_rounds == 0
+        assert result.schedule.method == "even_optimal"
+        assert result.components == []
+
+
+class TestRestarts:
+    """Seed restarts for randomized solvers in the solve stage."""
+
+    def test_only_general_is_randomized_in_catalog(self):
+        assert get_solver("general").randomized is True
+        assert get_solver("even_optimal").randomized is False
+        assert get_solver("bipartite_optimal").randomized is False
+
+    def test_restart_improves_an_unlucky_seed(self):
+        # Seed 3 makes the general solver's first attempt land one
+        # round above what other seeds reach on this K5 multigraph.
+        inst = clique_instance(5, 3, capacity=1)
+        first = get_solver("general").solve(inst, 3, None).num_rounds
+        tokens, _ = solve_job((inst, "general", 3))
+        assert len(tokens) < first
+
+    def test_restarted_solve_is_never_worse_than_first_attempt(self):
+        inst = clique_instance(5, 3, capacity=1)
+        for seed in range(6):
+            first = get_solver("general").solve(inst, seed, None).num_rounds
+            tokens, _ = solve_job((inst, "general", seed))
+            assert len(tokens) <= first
+
+    def test_forced_general_keeps_legacy_single_seed_bytes(self):
+        # Forcing ``method=`` means "run this algorithm once with this
+        # seed" — the unlucky first attempt must come back unimproved.
+        inst = clique_instance(5, 3, capacity=1)
+        legacy = general_schedule(inst, seed=3)
+        forced = plan(inst, method="general", seed=3)
+        assert forced.schedule.rounds == legacy.rounds
+
+
+class TestForcedMethods:
+    def test_forced_method_is_monolithic(self):
+        inst = mixed_two_component_instance()
+        result = plan(inst, method="greedy")
+        assert len(result.components) == 1
+        assert result.components[0].num_items == inst.num_items
+        assert result.schedule.method == "greedy"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            plan(mixed_two_component_instance(), method="bogus")
+
+    def test_stats_passthrough(self):
+        stats = GeneralSolverStats()
+        inst = random_instance(10, 40, capacity_choices=(1, 3), seed=6)
+        result = plan(inst, method="general", stats=stats)
+        direct = GeneralSolverStats()
+        expected = general_schedule(inst, seed=0, stats=direct)
+        assert [sorted(r) for r in result.schedule.rounds] == [
+            sorted(r) for r in expected.rounds
+        ]
+        assert stats.lower_bound == direct.lower_bound
+
+
+class TestPlanCacheIntegration:
+    def test_second_plan_is_fully_cached_and_identical(self):
+        inst = multi_component_instance(3, seed=2)
+        cache = PlanCache()
+        first = plan(inst, cache=cache)
+        second = plan(inst, cache=cache)
+        assert first.components_solved == 3 and first.components_cached == 0
+        assert second.components_solved == 0 and second.components_cached == 3
+        assert second.schedule.rounds == first.schedule.rounds
+        assert second.schedule.method == first.schedule.method
+
+    def test_cache_does_not_change_bytes(self):
+        inst = multi_component_instance(3, seed=7)
+        cached = plan(inst, cache=PlanCache())
+        uncached = plan(inst)
+        assert cached.schedule.rounds == uncached.schedule.rounds
+
+    def test_replan_resolves_only_affected_component(self):
+        """A structural change in one component leaves the rest cached."""
+        base_moves = [
+            ("a0", "a1"), ("a0", "a1"), ("a1", "a2"),   # component A
+            ("b0", "b1"), ("b1", "b2"), ("b2", "b0"),   # component B
+        ]
+        caps = {"a0": 1, "a1": 2, "a2": 1, "b0": 1, "b1": 1, "b2": 2}
+        inst1 = MigrationInstance.from_moves(base_moves, caps)
+        # The "fault": component B loses a move; A is untouched (its
+        # edge ids shift, which the fingerprint must see through).
+        inst2 = MigrationInstance.from_moves(base_moves[:-1], caps)
+
+        cache = PlanCache()
+        first = plan(inst1, cache=cache)
+        assert first.components_solved == 2
+        second = plan(inst2, cache=cache)
+        assert second.components_cached == 1
+        assert second.components_solved == 1
+        cached_comp = [c for c in second.components if c.cached]
+        assert {repr(v) for v in decompose(inst2)[cached_comp[0].index]
+                .instance.graph.nodes} == {"'a0'", "'a1'", "'a2'"}
+
+    def test_seed_is_part_of_the_key(self):
+        inst = multi_component_instance(2, seed=3)
+        cache = PlanCache()
+        plan(inst, seed=0, cache=cache)
+        result = plan(inst, seed=1, cache=cache)
+        assert result.components_cached == 0
+
+
+class TestParallelSolving:
+    def test_parallel_matches_serial_bytes(self):
+        inst = multi_component_instance(4, disks_per_component=6,
+                                        items_per_component=25, seed=5)
+        serial = plan(inst)
+        parallel = plan(inst, parallel=True, workers=2)
+        assert parallel.schedule.rounds == serial.schedule.rounds
+        assert parallel.schedule.method == serial.schedule.method
+        assert parallel.parallel is True
+
+    def test_parallel_auto_stays_serial_on_tiny_instances(self):
+        result = plan(mixed_two_component_instance(), parallel="auto")
+        assert result.parallel is False
+
+    def test_invalid_parallel_value(self):
+        with pytest.raises(ValueError, match="parallel"):
+            plan(multi_component_instance(2, seed=0), parallel="yes")
+
+
+class TestCertification:
+    def test_certified_bound_and_optimality(self):
+        result = plan(mixed_two_component_instance(), certify=True)
+        assert result.lower_bound is not None
+        assert result.lower_bound <= result.num_rounds
+        assert result.certificate is not None
+        # Both components are solved by exactly-optimal algorithms and
+        # small enough for exhaustive LB2, so optimality is certified.
+        assert result.certified_optimal is True
+
+    def test_certify_defaults_off(self):
+        result = plan(mixed_two_component_instance())
+        assert result.lower_bound is None
+        assert result.certificate is None
+        assert result.certified_optimal is None
+
+    def test_bound_cache_serves_second_certify(self):
+        inst = multi_component_instance(3, seed=4)
+        cache = PlanCache()
+        plan(inst, cache=cache, certify=True)
+        assert cache.stats.bound_misses == 3
+        plan(inst, cache=cache, certify=True)
+        assert cache.stats.bound_hits == 3
+
+
+def test_merged_method_name():
+    assert merged_method_name(["general"]) == "general"
+    assert merged_method_name(["general", "general"]) == "general"
+    assert (
+        merged_method_name(["general", "even_optimal"])
+        == "pipeline(even_optimal+general)"
+    )
