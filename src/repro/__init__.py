@@ -7,29 +7,47 @@ a minimum-round migration schedule.
 
 Quickstart::
 
-    from repro import MigrationInstance, plan_migration
+    from repro import MigrationInstance, plan
 
     moves = [("a", "b"), ("a", "b"), ("b", "c"), ("c", "a")]
     inst = MigrationInstance.from_moves(moves, {"a": 2, "b": 2, "c": 2})
-    schedule = plan_migration(inst)          # optimal: all c_v even
-    print(schedule.num_rounds, schedule.rounds)
+    result = plan(inst)                      # optimal: all c_v even
+    print(result.schedule.num_rounds, result.schedule.rounds)
+
+:func:`repro.plan` is the canonical planning API: it runs the staged
+pipeline and returns a :class:`PlanResult` carrying the validated
+schedule plus per-stage/per-solver profiles and per-component
+attribution; it accepts ``seed``, ``cache``, ``parallel``, ``certify``
+and ``tracer``.  The historical flat call,
+:func:`plan_migration(inst) <repro.core.solver.plan_migration>`
+``-> MigrationSchedule``, survives as a deprecated compatibility shim
+over the same pipeline.
 
 Package map:
 
 * :mod:`repro.core` — the scheduling algorithms (Sections III–V).
 * :mod:`repro.pipeline` — the staged planning pipeline (normalize →
   decompose → select → solve → merge → certify) behind
-  :func:`plan_migration`; call :func:`repro.pipeline.plan` directly
-  for per-component attribution, caching, parallel solving and
-  lower-bound certification.
+  :func:`repro.plan`, with per-component attribution, caching,
+  parallel solving and lower-bound certification.
 * :mod:`repro.graphs` — multigraph, Euler, flow, matching, coloring
   substrates.
 * :mod:`repro.cluster` — a storage-cluster simulator that executes
   schedules with a bandwidth-splitting time model.
+* :mod:`repro.runtime` — supervised, checkpointed execution with
+  fault injection and retry/replan policies.
+* :mod:`repro.extensions` — neighbouring problem variants
+  (forwarding, cloning, online, completion-time objectives) behind
+  one uniform result/validate surface.
+* :mod:`repro.obs` — tracing, metrics and profiling: one span/counter
+  substrate shared by the pipeline, the executor and the cluster
+  engine (``repro-migrate stats``).
 * :mod:`repro.workloads` — transfer-graph generators (load-balancing
   deltas, disk add/remove, synthetic sweeps).
 * :mod:`repro.analysis` — metrics and table rendering for the
-  benchmark harness.
+  benchmark harness, including trace aggregation.
+* :mod:`repro.checks` — determinism linter, typing gate,
+  cross-``PYTHONHASHSEED`` harness, schedule certification.
 """
 
 from repro.core.problem import MigrationInstance

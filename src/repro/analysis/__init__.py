@@ -2,9 +2,20 @@
 
 from repro.analysis.metrics import (
     ScheduleQuality,
+    TraceStats,
+    aggregate_trace,
     compare_methods,
     schedule_quality,
+    summarize_runtime_trace,
 )
 from repro.analysis.tables import Table
 
-__all__ = ["ScheduleQuality", "schedule_quality", "compare_methods", "Table"]
+__all__ = [
+    "ScheduleQuality",
+    "TraceStats",
+    "aggregate_trace",
+    "schedule_quality",
+    "compare_methods",
+    "summarize_runtime_trace",
+    "Table",
+]

@@ -33,7 +33,7 @@ from repro.core.errors import ScheduleValidationError
 from repro.core.lower_bounds import lb1, lower_bound
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.core.solver import plan_migration
+from repro.pipeline.planner import plan
 from repro.workloads.generators import random_instance
 
 
@@ -125,7 +125,7 @@ def fuzz_schedulers(
         for method in methods:
             tag = f"trial {trial} method {method}"
             try:
-                sched = plan_migration(inst, method=method, seed=trial)
+                sched = plan(inst, method=method, seed=trial).schedule
                 sched.validate(inst)
                 independent_validate(inst, sched)
             except Exception as exc:  # noqa: BLE001 - fuzz collects everything

@@ -22,7 +22,8 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 from repro.core.lower_bounds import lb1, lower_bound
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.core.solver import plan_migration
+from repro.obs import names
+from repro.pipeline.planner import plan
 
 
 @dataclass(frozen=True)
@@ -82,7 +83,7 @@ def compare_methods(
     lb = lower_bound(instance)
     out: Dict[str, ScheduleQuality] = {}
     for method in methods:
-        schedule = plan_migration(instance, method=method, seed=seed)
+        schedule = plan(instance, method=method, seed=seed).schedule
         out[method] = schedule_quality(instance, schedule, precomputed_lb=lb)
     return out
 
@@ -127,8 +128,19 @@ def load_runtime_trace(path: str) -> List[Dict[str, Any]]:
 def summarize_runtime_trace(records: Sequence[Mapping[str, Any]]) -> RuntimeSummary:
     """Fold a runtime trace into the headline numbers.
 
+    Consumes both trace dialects:
+
+    * the executor's event records (``--trace``: ``type`` per record,
+      one ``transfer`` record per attempt);
+    * the :mod:`repro.obs` span schema (``--trace-out``: ``kind`` per
+      record, ``runtime.round`` spans carrying attempt counts in their
+      attrs plus flushed ``counter``/``gauge`` records).
+
     Works on a full trace or on the concatenation a resumed run
-    appends to — records are folded, not assumed contiguous.
+    appends to — records are folded, not assumed contiguous.  The two
+    dialects land in different files, so nothing is double-counted:
+    event records never carry ``kind`` and span records never carry
+    ``type``.
     """
     attempts = delivered = retries = defers = replans = 0
     stranded = crashes = rounds = 0
@@ -162,6 +174,42 @@ def summarize_runtime_trace(records: Sequence[Mapping[str, Any]]) -> RuntimeSumm
             crashes += 1
         elif kind == "run_completed":
             finished = True
+        elif kind is None:
+            obs_kind = record.get("kind")
+            if obs_kind == "span":
+                attrs = record.get("attrs", {})
+                if record.get("name") == names.SPAN_ROUND:
+                    rounds += 1
+                    attempts += int(attrs.get("attempted", 0))
+                    delivered += int(attrs.get("succeeded", 0))
+                    completion_time = max(
+                        completion_time,
+                        float(attrs.get("sim_start", 0.0))
+                        + float(attrs.get("sim_duration", 0.0)),
+                    )
+                elif record.get("name") == names.SPAN_REPLAN:
+                    replans += 1
+            elif obs_kind == "counter":
+                name = record.get("name", "")
+                value = int(record.get("value", 0))
+                if name.startswith(names.FAILURE_PREFIX):
+                    reason = name[len(names.FAILURE_PREFIX):]
+                    failures[reason] = failures.get(reason, 0) + value
+                elif name == names.RETRIES:
+                    retries += value
+                elif name == names.DEFERS:
+                    defers += value
+                elif name == names.ITEMS_STRANDED:
+                    stranded += value
+                elif name == names.DISK_CRASHES:
+                    crashes += value
+                elif name == names.ITEMS_RETARGETED_IN_PLACE:
+                    delivered += value
+            elif obs_kind == "gauge":
+                if record.get("name") == names.RUNTIME_FINISHED and record.get(
+                    "value"
+                ):
+                    finished = True
     return RuntimeSummary(
         completion_time=completion_time,
         rounds=rounds,
@@ -175,6 +223,88 @@ def summarize_runtime_trace(records: Sequence[Mapping[str, Any]]) -> RuntimeSumm
         crashes=crashes,
         finished=finished,
     )
+
+
+@dataclass
+class TraceStats:
+    """Aggregate view of one :mod:`repro.obs` JSONL trace.
+
+    The backing store of ``repro-migrate stats``: per-pipeline-stage
+    and per-solver wall/CPU totals, per-round execution numbers, and
+    the flushed metric instruments.  All mappings are sorted by key so
+    rendering is deterministic.
+    """
+
+    spans: int = 0
+    #: stage name -> {"wall", "cpu", "calls"} for ``pipeline.stage.*``.
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: solver method -> {"wall", "cpu", "calls"} for ``pipeline.solve``
+    #: (pool solves land under ``"pool"``).
+    solvers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: one row per ``runtime.round`` span, in trace order.
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    plans: int = 0
+    replans: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+
+def _fold_timing(
+    into: Dict[str, Dict[str, float]], key: str, record: Mapping[str, Any]
+) -> None:
+    slot = into.setdefault(key, {"wall": 0.0, "cpu": 0.0, "calls": 0})
+    slot["wall"] += float(record.get("wall", 0.0))
+    slot["cpu"] += float(record.get("cpu", 0.0))
+    slot["calls"] += 1
+
+
+def aggregate_trace(records: Sequence[Mapping[str, Any]]) -> TraceStats:
+    """Fold an obs-schema trace into :class:`TraceStats`."""
+    stats = TraceStats()
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            stats.spans += 1
+            name = str(record.get("name", ""))
+            attrs = record.get("attrs", {})
+            if name.startswith(names.SPAN_STAGE_PREFIX):
+                _fold_timing(
+                    stats.stages, name[len(names.SPAN_STAGE_PREFIX):], record
+                )
+            elif name == names.SPAN_SOLVE:
+                _fold_timing(stats.solvers, str(attrs.get("method", "?")), record)
+            elif name == names.SPAN_SOLVE_POOL:
+                _fold_timing(stats.solvers, "pool", record)
+            elif name == names.SPAN_PLAN:
+                stats.plans += 1
+            elif name == names.SPAN_REPLAN:
+                stats.replans += 1
+            elif name == names.SPAN_ROUND:
+                stats.rounds.append(
+                    {
+                        "round": attrs.get("round"),
+                        "wall": float(record.get("wall", 0.0)),
+                        "attempted": int(attrs.get("attempted", 0)),
+                        "succeeded": int(attrs.get("succeeded", 0)),
+                        "failed": int(attrs.get("failed", 0)),
+                        "sim_start": float(attrs.get("sim_start", 0.0)),
+                        "sim_duration": float(attrs.get("sim_duration", 0.0)),
+                    }
+                )
+        elif kind == "counter":
+            name = str(record.get("name", ""))
+            stats.counters[name] = stats.counters.get(name, 0) + int(
+                record.get("value", 0)
+            )
+        elif kind == "gauge":
+            stats.gauges[str(record.get("name", ""))] = float(
+                record.get("value", 0.0)
+            )
+    stats.stages = {k: stats.stages[k] for k in sorted(stats.stages)}
+    stats.solvers = {k: stats.solvers[k] for k in sorted(stats.solvers)}
+    stats.counters = {k: stats.counters[k] for k in sorted(stats.counters)}
+    stats.gauges = {k: stats.gauges[k] for k in sorted(stats.gauges)}
+    return stats
 
 
 def summarize_ratios(qualities: Iterable[ScheduleQuality]) -> Dict[str, float]:

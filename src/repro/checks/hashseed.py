@@ -47,6 +47,33 @@ payload = {
 sys.stdout.write(json.dumps(payload, sort_keys=True))
 """
 
+#: Plans the same instance untraced (NULL_TRACER default) and traced
+#: (real Tracer -> in-memory exporter); the schedules must be
+#: identical — tracing is observation-only — and the traced schedule
+#: is printed canonically so it is also compared across hash seeds.
+#: argv: num_disks num_items instance_seed method
+TRACED_PLAN_DRIVER = """\
+import json, sys
+from repro.obs import InMemoryExporter, Tracer
+from repro.pipeline import plan
+from repro.workloads import random_instance
+
+num_disks, num_items, instance_seed = map(int, sys.argv[1:4])
+method = sys.argv[4]
+instance = random_instance(num_disks, num_items, seed=instance_seed)
+noop = plan(instance, method=method, seed=0).schedule
+tracer = Tracer(InMemoryExporter())
+traced = plan(instance, method=method, seed=0, tracer=tracer).schedule
+tracer.close()
+if [list(r) for r in noop.rounds] != [list(r) for r in traced.rounds]:
+    sys.exit("traced plan diverged from untraced plan")
+payload = {
+    "method": traced.method,
+    "rounds": [list(rnd) for rnd in traced.rounds],
+}
+sys.stdout.write(json.dumps(payload, sort_keys=True))
+"""
+
 #: Prints the canonical executor state after a full fault-injected run.
 #: argv: scenario_seed executor_seed
 EXECUTOR_DRIVER = """\
@@ -173,6 +200,12 @@ def check_determinism(
                 hash_seeds,
             )
         )
+    checks.append(
+        compare_across_hash_seeds(
+            "plan/traced-vs-noop", TRACED_PLAN_DRIVER, ["10", "40", "5", "auto"],
+            hash_seeds,
+        )
+    )
     if include_executor:
         checks.append(
             compare_across_hash_seeds(

@@ -91,7 +91,9 @@ _DATETIME_READS = frozenset({"now", "utcnow", "today"})
 class LintConfig:
     """What to lint and where the determinism contract applies."""
 
-    deterministic_packages: Tuple[str, ...] = ("core", "graphs", "runtime", "pipeline")
+    deterministic_packages: Tuple[str, ...] = (
+        "core", "graphs", "runtime", "pipeline", "obs",
+    )
     select: Optional[Set[str]] = None  # None = all rules
 
     def enabled(self, rule: str) -> bool:

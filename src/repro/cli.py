@@ -19,6 +19,10 @@ Subcommands:
   for archiving/replay.
 * ``gantt`` — schedule a JSON instance and render the per-disk round
   Gantt chart.
+* ``stats`` — summarize a :mod:`repro.obs` JSONL trace (written by
+  ``plan --trace-out`` or ``run --trace-out``): per-stage and
+  per-solver timings, per-round execution numbers, counters;
+  ``--validate`` checks the trace against the wire schema first.
 * ``fuzz`` — cross-validate all schedulers on randomized instances.
 * ``check`` — correctness tooling (:mod:`repro.checks`): determinism
   linter, mypy strict gate, cross-``PYTHONHASHSEED`` harness, and
@@ -35,7 +39,8 @@ from repro.analysis.metrics import compare_methods
 from repro.analysis.tables import Table
 from repro.cluster.engine import MigrationEngine
 from repro.core.problem import MigrationInstance
-from repro.core.solver import METHODS, plan_migration
+from repro.core.solver import METHODS
+from repro.pipeline.planner import plan
 from repro.workloads.generators import random_instance
 from repro.workloads.scenarios import (
     decommission_scenario,
@@ -88,9 +93,18 @@ def _load_cli_instance(args: argparse.Namespace) -> MigrationInstance:
     return MigrationInstance.from_moves(moves, capacities)
 
 
+def _open_tracer(path: Optional[str], append: bool = False):
+    """Build a JSONL-backed tracer, or None when no path was given."""
+    if not path:
+        return None
+    from repro.obs import JsonlExporter, Tracer
+
+    return Tracer(JsonlExporter(path, append=append))
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_cli_instance(args)
-    schedule = plan_migration(instance, method=args.method)
+    schedule = plan(instance, method=args.method).schedule
     print(f"# method={schedule.method} rounds={schedule.num_rounds}")
     graph = instance.graph
     for i, rnd in enumerate(schedule.rounds):
@@ -103,10 +117,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.pipeline import PlanCache
-    from repro.pipeline import plan as pipeline_plan
 
     instance = _load_cli_instance(args)
-    result = pipeline_plan(
+    tracer = _open_tracer(args.trace_out)
+    result = plan(
         instance,
         method=args.method,
         seed=args.seed,
@@ -114,7 +128,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         workers=args.workers,
         certify=args.certify,
+        tracer=tracer,
     )
+    if tracer is not None:
+        tracer.close()
     schedule = result.schedule
     print(
         f"# method={schedule.method} rounds={schedule.num_rounds} "
@@ -143,6 +160,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             f"verified lower bound: {result.lower_bound}; "
             f"certified optimal: {result.certified_optimal}"
         )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -173,7 +192,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         return 0 if args.list else 2
     scenario = _SCENARIOS[name](seed=args.seed)
     instance = scenario.instance
-    schedule = plan_migration(instance, method=args.method)
+    schedule = plan(instance, method=args.method).schedule
     engine = MigrationEngine(scenario.cluster, time_model=args.time_model)
     report = engine.execute(scenario.context, schedule)
     print(
@@ -259,10 +278,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
     scenario = _SCENARIOS[name](seed=args.seed)
     trace = JsonlTraceWriter(args.trace, append=resuming) if args.trace else None
+    tracer = _open_tracer(args.trace_out, append=resuming)
     # One cache for the run: the initial plan populates it and crash
     # replans re-solve only the components the crash touched.
     from repro.pipeline import PlanCache
-    from repro.pipeline import plan as pipeline_plan
 
     plan_cache = PlanCache()
 
@@ -278,22 +297,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             executor = restore_executor(
                 scenario.cluster, state, faults=faults, policy=policy,
                 time_model=args.time_model, method=args.method,
-                seed=args.seed, trace=trace, plan_cache=plan_cache,
+                seed=args.seed, trace=trace, cache=plan_cache,
+                tracer=tracer,
             )
         except CheckpointError as exc:
             print(f"cannot resume: {exc}", file=sys.stderr)
             return 2
         print(f"resumed from {args.checkpoint} at round {executor.rounds_executed}")
     else:
-        schedule = pipeline_plan(
+        schedule = plan(
             scenario.instance, method=args.method, seed=args.seed,
-            cache=plan_cache,
+            cache=plan_cache, tracer=tracer,
         ).schedule
         executor = MigrationExecutor(
             scenario.cluster, scenario.context, schedule,
             faults=faults, policy=policy, time_model=args.time_model,
             method=args.method, seed=args.seed, trace=trace,
-            plan_cache=plan_cache,
+            cache=plan_cache, tracer=tracer,
         )
 
     remaining = args.max_rounds
@@ -314,6 +334,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             break
     if trace is not None:
         trace.close()
+    if tracer is not None:
+        tracer.close()
 
     counters = report.telemetry.counters
     print(
@@ -363,13 +385,71 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     from repro.workloads.io import load_instance
 
     instance = load_instance(args.instance)
-    schedule = plan_migration(instance, method=args.method)
+    schedule = plan(instance, method=args.method).schedule
     print(f"# method={schedule.method} rounds={schedule.num_rounds}")
     print(render_gantt(instance, schedule, max_rounds=args.max_rounds))
     util = utilization(instance, schedule)
     busy = [u for u in util.values() if u > 0]
     if busy:
         print(f"\nmean busy-disk utilization: {sum(busy) / len(busy):.2f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import aggregate_trace
+    from repro.obs import load_trace
+    from repro.obs.schema import validate_trace
+
+    records = load_trace(args.trace)
+    if args.validate:
+        problems = validate_trace(records)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"trace OK: {len(records)} records")
+    stats = aggregate_trace(records)
+    print(
+        f"# spans={stats.spans} plans={stats.plans} replans={stats.replans} "
+        f"rounds={len(stats.rounds)}"
+    )
+    if stats.stages:
+        table = Table("pipeline stages", ["stage", "calls", "wall ms", "cpu ms"])
+        for stage, timing in stats.stages.items():
+            table.add_row(
+                stage, int(timing["calls"]),
+                f"{timing['wall'] * 1e3:.3f}", f"{timing['cpu'] * 1e3:.3f}",
+            )
+        print(table.render())
+    if stats.solvers:
+        table = Table("solvers", ["method", "calls", "wall ms", "cpu ms"])
+        for method, timing in stats.solvers.items():
+            table.add_row(
+                method, int(timing["calls"]),
+                f"{timing['wall'] * 1e3:.3f}", f"{timing['cpu'] * 1e3:.3f}",
+            )
+        print(table.render())
+    if stats.rounds:
+        table = Table(
+            "executed rounds",
+            ["round", "attempted", "succeeded", "failed", "sim time", "wall ms"],
+        )
+        for row in stats.rounds:
+            table.add_row(
+                row["round"], row["attempted"], row["succeeded"], row["failed"],
+                f"{row['sim_duration']:.2f}", f"{row['wall'] * 1e3:.3f}",
+            )
+        print(table.render())
+    if stats.counters:
+        table = Table("counters", ["name", "value"])
+        for cname, value in stats.counters.items():
+            table.add_row(cname, value)
+        print(table.render())
+    if stats.gauges:
+        table = Table("gauges", ["name", "value"])
+        for gname, gvalue in stats.gauges.items():
+            table.add_row(gname, gvalue)
+        print(table.render())
     return 0
 
 
@@ -398,7 +478,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         from repro.workloads.io import load_instance
 
         instance = load_instance(args.certify)
-        schedule = plan_migration(instance, method=args.method)
+        schedule = plan(instance, method=args.method).schedule
         try:
             report = certify(instance, schedule)
         except CertificationError as exc:
@@ -482,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--certify", action="store_true",
                         help="compose and verify a per-component "
                              "lower-bound certificate")
+    p_plan.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a repro.obs JSONL trace of the pipeline "
+                             "(see `stats`)")
     p_plan.set_defaults(func=_cmd_plan)
 
     p_gen = sub.add_parser("generate", help="write a workload instance to JSON")
@@ -533,6 +616,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint and exit with status 3")
     p_run.add_argument("--trace", metavar="PATH",
                        help="write a JSONL trace (appends when resuming)")
+    p_run.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a repro.obs span/metric JSONL trace "
+                            "(appends when resuming; see `stats`)")
     p_run.set_defaults(func=_cmd_run)
 
     p_gantt = sub.add_parser("gantt", help="render a schedule Gantt chart")
@@ -540,6 +626,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_gantt.add_argument("--method", choices=METHODS, default="auto")
     p_gantt.add_argument("--max-rounds", type=int, default=60)
     p_gantt.set_defaults(func=_cmd_gantt)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="summarize a repro.obs trace: per-stage/solver timings, "
+             "per-round execution, counters",
+    )
+    p_stats.add_argument("trace", help="JSONL trace from --trace-out")
+    p_stats.add_argument("--validate", action="store_true",
+                         help="check every record against the trace schema "
+                              "before summarizing")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_fuzz = sub.add_parser("fuzz", help="cross-validate schedulers on random instances")
     p_fuzz.add_argument("--trials", type=int, default=100)

@@ -41,6 +41,8 @@ from repro.cluster.layout import Layout
 from repro.cluster.system import MigrationPlanContext, StorageCluster
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
+from repro.obs import names
+from repro.obs.trace import Tracer, ensure_tracer
 
 TIME_MODELS = ("unit", "bandwidth_split")
 
@@ -97,6 +99,10 @@ class MigrationEngine:
             :class:`~repro.cluster.network.RateModel` — e.g.
             :class:`~repro.cluster.network.FabricRates` for rack
             topologies.
+        tracer: optional :class:`repro.obs.Tracer`; each
+            :meth:`execute` call becomes a ``cluster.execute`` span
+            with one ``cluster.round`` child per executed round.  The
+            default no-op tracer costs nothing and changes nothing.
     """
 
     def __init__(
@@ -104,12 +110,14 @@ class MigrationEngine:
         cluster: StorageCluster,
         time_model: str = "bandwidth_split",
         rate_model=None,
+        tracer: Optional[Tracer] = None,
     ):
         if time_model not in TIME_MODELS:
             raise ValueError(f"unknown time model {time_model!r}; expected {TIME_MODELS}")
         self.cluster = cluster
         self.time_model = time_model
         self.rate_model = rate_model
+        self.tracer = ensure_tracer(tracer)
 
     # ------------------------------------------------------------------
     def round_duration(
@@ -148,42 +156,54 @@ class MigrationEngine:
         graph = context.instance.graph
         now = rep.total_time
 
-        for round_index, round_edges in enumerate(schedule.rounds):
-            rep.log.record(
-                RoundStarted(time=now, round_index=round_index, num_transfers=len(round_edges))
-            )
-            duration = self.round_duration(context, round_edges)
-            for eid in round_edges:
-                src, dst = graph.endpoints(eid)
-                item_id = context.edge_items[eid]
-                self.cluster.apply_move(item_id, dst)
-                rep.migrated_items.append(item_id)
+        with self.tracer.span(
+            names.SPAN_CLUSTER_EXECUTE, rounds=len(schedule.rounds)
+        ) as exec_span:
+            for round_index, round_edges in enumerate(schedule.rounds):
                 rep.log.record(
-                    ItemMigrated(
-                        time=now + duration,
-                        item_id=item_id,
-                        source=src,
-                        target=dst,
-                        duration=duration,
-                    )
+                    RoundStarted(time=now, round_index=round_index, num_transfers=len(round_edges))
                 )
-            now += duration
-            rep.round_durations.append(duration)
-            rep.rounds_executed += 1
-            rep.log.record(
-                RoundCompleted(time=now, round_index=round_index, duration=duration)
-            )
-            if fail_disk_after_round is not None and round_index == fail_disk_after_round[0]:
-                failed = fail_disk_after_round[1]
-                self.cluster.remove_disk(failed)
-                rep.log.record(DiskRemoved(time=now, disk_id=failed))
-                done = set(rep.migrated_items)
-                for later in schedule.rounds[round_index + 1 :]:
-                    for eid in later:
+                with self.tracer.span(
+                    names.SPAN_CLUSTER_ROUND,
+                    round=round_index,
+                    transfers=len(round_edges),
+                ) as round_span:
+                    duration = self.round_duration(context, round_edges)
+                    for eid in round_edges:
+                        src, dst = graph.endpoints(eid)
                         item_id = context.edge_items[eid]
-                        if item_id not in done:
-                            rep.stranded_items.append(item_id)
-                break
+                        self.cluster.apply_move(item_id, dst)
+                        rep.migrated_items.append(item_id)
+                        rep.log.record(
+                            ItemMigrated(
+                                time=now + duration,
+                                item_id=item_id,
+                                source=src,
+                                target=dst,
+                                duration=duration,
+                            )
+                        )
+                    round_span.set(duration=duration)
+                now += duration
+                rep.round_durations.append(duration)
+                rep.rounds_executed += 1
+                rep.log.record(
+                    RoundCompleted(time=now, round_index=round_index, duration=duration)
+                )
+                if fail_disk_after_round is not None and round_index == fail_disk_after_round[0]:
+                    failed = fail_disk_after_round[1]
+                    self.cluster.remove_disk(failed)
+                    rep.log.record(DiskRemoved(time=now, disk_id=failed))
+                    done = set(rep.migrated_items)
+                    for later in schedule.rounds[round_index + 1 :]:
+                        for eid in later:
+                            item_id = context.edge_items[eid]
+                            if item_id not in done:
+                                rep.stranded_items.append(item_id)
+                    break
+            exec_span.set(
+                rounds_executed=rep.rounds_executed, sim_time=now
+            )
         rep.total_time = now
         return rep
 
@@ -207,7 +227,7 @@ class MigrationEngine:
         model).
 
         Args:
-            planner: e.g. ``lambda inst: plan_migration(inst)``.
+            planner: e.g. ``lambda inst: plan(inst).schedule``.
             seed: forwarded to the planner (as ``seed=``) when given
                 and the planner accepts it, so replans are reproducible
                 run to run.  Planners without a ``seed`` parameter are

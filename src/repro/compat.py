@@ -1,0 +1,32 @@
+"""Deprecation plumbing for the consolidated public API.
+
+The canonical planning entry point is :func:`repro.plan`
+(:func:`repro.pipeline.plan`); legacy spellings keep working but
+announce themselves exactly once per process through
+:func:`warn_once`.  Keying on the entry-point name (rather than the
+call site) gives the "once per legacy entry point" contract the docs
+promise: a batch job calling ``plan_migration`` a million times logs
+one warning.
+
+Tests reset the bookkeeping with :func:`reset_warned`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warned() -> None:
+    """Forget every emitted warning (test isolation hook)."""
+    _WARNED.clear()

@@ -1,19 +1,20 @@
-"""The public scheduling entry point (compatibility wrapper).
+"""The legacy scheduling entry point (deprecated compatibility shim).
 
 :func:`plan_migration` is the historical flat interface: give it an
-instance and a method name, get a validated schedule back.  Since the
-pipeline refactor it is a thin delegation to
-:func:`repro.pipeline.plan`, which stages the same work as
-normalize → decompose → select → solve → merge and adds per-component
-solver selection on ``"auto"`` (an even-capacity or bipartite
-component inside a mixed instance now gets its optimal algorithm).
+instance and a method name, get a validated schedule back.  It is now
+a **deprecated** thin delegation to the canonical API,
+:func:`repro.plan` (:func:`repro.pipeline.plan`) — same staged
+pipeline, same method names, same schedules::
 
-Callers who want stage timings, per-component attribution, plan
-caching, parallel solving or lower-bound certification should call
-:func:`repro.pipeline.plan` directly and read the
-:class:`~repro.pipeline.planner.PlanResult`; this wrapper exists so
-the large body of existing callers (and the paper-facing examples)
-keep their one-line interface.
+    schedule = plan_migration(inst, method="auto", seed=0)      # legacy
+    schedule = repro.plan(inst, method="auto", seed=0).schedule # canonical
+
+The canonical call also returns stage/solver profiles, per-component
+attribution, and accepts ``cache=``, ``parallel=``, ``certify=`` and
+``tracer=``.  ``plan_migration`` emits one :class:`DeprecationWarning`
+per process (see :mod:`repro.compat`) and keeps working — it will not
+be removed while the paper-facing examples reference it — but new code
+should call :func:`repro.plan`.
 
 Method names:
 
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.compat import warn_once
 from repro.core.general import GeneralSolverStats
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
@@ -48,6 +50,11 @@ def plan_migration(
 ) -> MigrationSchedule:
     """Compute a migration schedule for ``instance``.
 
+    .. deprecated:: 1.0
+        Call :func:`repro.plan` and read ``.schedule`` instead; it
+        takes the same ``method``/``seed`` arguments plus the pipeline
+        features this shim cannot expose.
+
     Args:
         instance: transfer graph + per-disk constraints.
         method: one of :data:`METHODS`.  ``"auto"`` selects the best
@@ -65,4 +72,10 @@ def plan_migration(
     Raises:
         ValueError: for an unknown method.
     """
+    warn_once(
+        "plan_migration",
+        "plan_migration() is deprecated; call repro.plan(...) and read "
+        ".schedule (same method/seed arguments, plus caching, parallel "
+        "solving, certification and tracing)",
+    )
     return plan(instance, method=method, seed=seed, stats=stats).schedule

@@ -1,7 +1,7 @@
-"""Extensions beyond the paper's core model.
+"""Extensions beyond the paper's core model — one coherent surface.
 
 The paper's related-work section (Section II) maps the neighbouring
-problem space; this subpackage implements working versions of the three
+problem space; this subpackage implements working versions of the
 closest neighbours so the library covers the whole migration story:
 
 * :mod:`repro.extensions.indirect` — migration **with forwarding**
@@ -13,25 +13,106 @@ closest neighbours so the library covers the whole migration story:
 * :mod:`repro.extensions.cloning` — migration **with cloning**
   (Khuller, Kim & Wan): items with destination *sets*; receivers
   become sources, so copies spread gossip-style.
+* :mod:`repro.extensions.online` — **online** migration (Aqueduct):
+  move batches arrive while earlier ones still execute.
+* :mod:`repro.extensions.throttle` — rate-limited migration: cap the
+  per-round transfer budget and trade makespan for foreground I/O.
+
+Every extension follows the same shape:
+
+* schedulers return an :class:`ExtensionResult` — an object with
+  ``num_rounds`` and ``rounds`` (:class:`ForwardingResult`,
+  :class:`CloningResult`, :class:`OnlineReport`, or a plain
+  :class:`~repro.core.schedule.MigrationSchedule`);
+* each module exports a ``validate_*(instance, result)`` re-checker
+  with a uniform two-argument signature that raises
+  :class:`~repro.core.errors.ScheduleValidationError` on violations.
 """
 
-from repro.extensions.indirect import ForwardingResult, forwarding_schedule
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.extensions.cloning import (
+    CloningInstance,
+    CloningResult,
+    best_cloning_schedule,
+    cloning_lower_bound,
+    gossip_schedule,
+    naive_schedule,
+    validate_cloning,
+)
 from repro.extensions.completion_time import (
+    disk_release_sum,
+    promote_items,
     reorder_rounds_by_weight,
+    reorder_rounds_for_disk_release,
     sum_completion_time,
+    validate_completion,
+    weighted_greedy_schedule,
     weighted_sum_completion_time,
 )
-from repro.extensions.cloning import CloningInstance, gossip_schedule
-from repro.extensions.throttle import throttled_schedule, throttle_tradeoff
+from repro.extensions.indirect import (
+    ForwardingResult,
+    forwarding_schedule,
+    validate_forwarding,
+)
+from repro.extensions.online import (
+    OnlineInstance,
+    OnlineReport,
+    run_online,
+    validate_online,
+)
+from repro.extensions.throttle import throttle_tradeoff, throttled_schedule
+
+
+@runtime_checkable
+class ExtensionResult(Protocol):
+    """What every extension scheduler returns.
+
+    A round-structured outcome: ``rounds`` lists what executed in each
+    round (the element type is extension-specific — edge ids, hops, or
+    move indices) and ``num_rounds`` counts them.  Satisfied by
+    :class:`ForwardingResult`, :class:`CloningResult`,
+    :class:`OnlineReport`, and the core
+    :class:`~repro.core.schedule.MigrationSchedule`, so generic
+    reporting code can treat them interchangeably.
+    """
+
+    @property
+    def num_rounds(self) -> int: ...
+
+    @property
+    def rounds(self) -> Sequence[Sequence[object]]: ...
+
 
 __all__ = [
+    "ExtensionResult",
+    # forwarding (indirect migration)
     "ForwardingResult",
     "forwarding_schedule",
+    "validate_forwarding",
+    # completion-time objectives
     "sum_completion_time",
     "weighted_sum_completion_time",
+    "disk_release_sum",
     "reorder_rounds_by_weight",
+    "reorder_rounds_for_disk_release",
+    "promote_items",
+    "weighted_greedy_schedule",
+    "validate_completion",
+    # cloning (multicast destinations)
     "CloningInstance",
+    "CloningResult",
+    "cloning_lower_bound",
     "gossip_schedule",
+    "naive_schedule",
+    "best_cloning_schedule",
+    "validate_cloning",
+    # online migration
+    "OnlineInstance",
+    "OnlineReport",
+    "run_online",
+    "validate_online",
+    # throttled migration
     "throttled_schedule",
     "throttle_tradeoff",
 ]

@@ -87,6 +87,24 @@ class CloningInstance:
         return sum(len(it.destinations) for it in self._items.values())
 
 
+class CloningResult(List[List[CloneHop]]):
+    """A cloning schedule: a list of rounds of hops.
+
+    A ``list`` subclass, so everything that consumed the old plain
+    list return value keeps working; additionally satisfies the
+    :class:`repro.extensions.ExtensionResult` protocol via
+    ``num_rounds`` and ``rounds``.
+    """
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self)
+
+    @property
+    def rounds(self) -> List[List[CloneHop]]:
+        return list(self)
+
+
 def cloning_lower_bound(instance: CloningInstance) -> int:
     """``max(pressure bound, broadcast bound)``.
 
@@ -117,7 +135,7 @@ def cloning_lower_bound(instance: CloningInstance) -> int:
     return max(pressure, broadcast)
 
 
-def gossip_schedule(instance: CloningInstance, max_rounds: int = 10_000) -> List[List[CloneHop]]:
+def gossip_schedule(instance: CloningInstance, max_rounds: int = 10_000) -> CloningResult:
     """Greedy gossip scheduling: holders double the copy count.
 
     Each round, pending ``(item, destination)`` pairs are served
@@ -132,7 +150,7 @@ def gossip_schedule(instance: CloningInstance, max_rounds: int = 10_000) -> List
         item_id: set(item.destinations) for item_id, item in instance.items.items()
     }
 
-    rounds: List[List[CloneHop]] = []
+    rounds: CloningResult = CloningResult()
     while any(pending.values()):
         if len(rounds) >= max_rounds:
             raise ScheduleValidationError("gossip scheduler exceeded round cap")
@@ -173,14 +191,14 @@ def gossip_schedule(instance: CloningInstance, max_rounds: int = 10_000) -> List
     return rounds
 
 
-def naive_schedule(instance: CloningInstance) -> List[List[CloneHop]]:
+def naive_schedule(instance: CloningInstance) -> CloningResult:
     """No-cloning baseline: every copy ships from the original source."""
     pending: List[CloneHop] = [
         (item.item_id, item.source, dst)
         for item in instance.items.values()
         for dst in sorted(item.destinations, key=repr)
     ]
-    rounds: List[List[CloneHop]] = []
+    rounds: CloningResult = CloningResult()
     while pending:
         used: Dict[Node, int] = {v: 0 for v in instance.nodes}
         this_round: List[CloneHop] = []
@@ -199,7 +217,7 @@ def naive_schedule(instance: CloningInstance) -> List[List[CloneHop]]:
     return rounds
 
 
-def best_cloning_schedule(instance: CloningInstance) -> List[List[CloneHop]]:
+def best_cloning_schedule(instance: CloningInstance) -> CloningResult:
     """The better of gossip and naive for this instance.
 
     Gossip wins whenever destination sets are large (copies double);

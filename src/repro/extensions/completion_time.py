@@ -174,6 +174,23 @@ def promote_items(
     return promoted
 
 
+def validate_completion(
+    instance: MigrationInstance, result: MigrationSchedule
+) -> None:
+    """Validate a completion-time-optimized schedule against its instance.
+
+    The uniform ``validate(instance, result)`` entry point of the
+    extension surface: the reordering/promotion passes return ordinary
+    :class:`~repro.core.schedule.MigrationSchedule` objects, so this
+    delegates to the schedule's own feasibility check (every item moves
+    exactly once, every round respects each ``c_v``).
+
+    Raises:
+        ScheduleValidationError: on any violation.
+    """
+    result.validate(instance)
+
+
 def reorder_rounds_for_disk_release(
     schedule: MigrationSchedule,
     instance: MigrationInstance,

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.errors import ScheduleValidationError
 from repro.core.lower_bounds import lb1
 from repro.core.problem import MigrationInstance
-from repro.core.solver import plan_migration
+from repro.pipeline.planner import plan
 from repro.graphs.multigraph import EdgeId, Node
 
 # A hop: (item edge id, from node, to node).
@@ -73,7 +73,7 @@ def forwarding_schedule(
     Returns:
         A validated :class:`ForwardingResult`.
     """
-    direct = plan_migration(instance, method=direct_method)
+    direct = plan(instance, method=direct_method).schedule
     cap_rounds = max_rounds if max_rounds is not None else max(direct.num_rounds, 1)
 
     graph = instance.graph

@@ -23,25 +23,68 @@ policies under bursty arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.errors import ScheduleValidationError
 from repro.core.problem import MigrationInstance
-from repro.core.solver import plan_migration
 from repro.graphs.multigraph import Multigraph, Node
+from repro.pipeline.planner import plan
 
 Move = Tuple[Node, Node]
 POLICIES = ("replan", "fifo")
 
 
+def _default_planner(instance: MigrationInstance) -> object:
+    """The canonical planner, shaped for the ``planner=`` callback."""
+    return plan(instance).schedule
+
+
+@dataclass(frozen=True)
+class OnlineInstance:
+    """An online workload: arrival batches plus per-disk constraints.
+
+    Bundles the two mappings :func:`run_online` consumes so the
+    extension surface has an instance object to validate against,
+    mirroring :class:`~repro.core.problem.MigrationInstance` for the
+    offline extensions.
+    """
+
+    arrivals: Mapping[int, Sequence[Move]]
+    capacities: Mapping[Node, int]
+
+
 @dataclass
 class OnlineReport:
-    """Outcome of an online simulation."""
+    """Outcome of an online simulation.
+
+    Satisfies the :class:`repro.extensions.ExtensionResult` protocol:
+    ``rounds`` records the executed transfer rounds (lists of global
+    move indices, in execution order) and ``num_rounds`` counts them.
+    """
 
     makespan: int = 0
     # move index (global submission order) -> (arrival, completion) rounds.
     timeline: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     plans_computed: int = 0
+    #: executed rounds: global move indices, in execution order.
+    rounds: List[List[int]] = field(default_factory=list)
+    #: global move index -> the (src, dst) move, for re-validation.
+    moves: Dict[int, Move] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds that executed at least one transfer."""
+        return len(self.rounds)
 
     @property
     def response_times(self) -> List[int]:
@@ -58,25 +101,36 @@ class OnlineReport:
 
 
 def run_online(
-    arrivals: Mapping[int, Sequence[Move]],
-    capacities: Mapping[Node, int],
+    arrivals: Union[Mapping[int, Sequence[Move]], OnlineInstance],
+    capacities: Optional[Mapping[Node, int]] = None,
     policy: str = "replan",
-    planner: Callable[[MigrationInstance], object] = plan_migration,
+    planner: Callable[[MigrationInstance], object] = _default_planner,
     max_rounds: int = 100_000,
 ) -> OnlineReport:
     """Simulate online migration under a policy.
 
     Args:
         arrivals: round -> batch of ``(src, dst)`` moves arriving at
-            the *start* of that round (round 0 = time zero).
+            the *start* of that round (round 0 = time zero); or an
+            :class:`OnlineInstance` bundling arrivals and capacities
+            (then leave ``capacities`` unset).
         capacities: ``c_v`` for every disk that ever appears.
         policy: ``"replan"`` or ``"fifo"``.
-        planner: scheduler used on (sub-)instances.
+        planner: scheduler used on (sub-)instances; defaults to the
+            canonical :func:`repro.plan` pipeline.
 
     Returns:
         An :class:`OnlineReport`; per-round capacity feasibility is
         asserted during the simulation.
     """
+    if isinstance(arrivals, OnlineInstance):
+        if capacities is not None:
+            raise ValueError(
+                "pass capacities inside the OnlineInstance, not separately"
+            )
+        arrivals, capacities = arrivals.arrivals, arrivals.capacities
+    if capacities is None:
+        raise ValueError("capacities are required")
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected {POLICIES}")
     last_arrival = max(arrivals, default=0)
@@ -99,6 +153,7 @@ def run_online(
         for move in batch:
             pending.append((next_index, move))
             arrival_round[next_index] = round_no
+            report.moves[next_index] = move
             ids.append(next_index)
             next_index += 1
         if policy == "fifo":
@@ -119,6 +174,7 @@ def run_online(
                 )
         done = set(chosen)
         pending[:] = [(i, m) for i, m in pending if i not in done]
+        report.rounds.append(list(chosen))
         for idx in chosen:
             report.timeline[idx] = (arrival_round[idx], round_no + 1)
 
@@ -185,3 +241,41 @@ def _fifo_next_round(queue: List[List[List[int]]]) -> List[int]:
             return queue[0].pop(0)
         queue.pop(0)
     return []
+
+
+def validate_online(instance: OnlineInstance, result: OnlineReport) -> None:
+    """Re-validate a finished online run against its instance.
+
+    Checks, from the report's recorded rounds alone: every admitted
+    move completes, completions never precede arrivals, and no
+    recorded round exceeds any disk's ``c_v``.
+
+    Raises:
+        ScheduleValidationError: on any violation.
+    """
+    admitted = sum(len(batch) for batch in instance.arrivals.values())
+    if len(result.timeline) != admitted:
+        raise ScheduleValidationError(
+            f"{admitted} moves admitted but {len(result.timeline)} completed"
+        )
+    for idx, (arrived, done) in result.timeline.items():
+        if done <= arrived:
+            raise ScheduleValidationError(
+                f"move {idx} completed in round {done} before arriving at {arrived}"
+            )
+    executed = [idx for rnd in result.rounds for idx in rnd]
+    if sorted(executed) != sorted(result.timeline):
+        raise ScheduleValidationError(
+            "recorded rounds and completion timeline disagree"
+        )
+    for i, rnd in enumerate(result.rounds):
+        loads: Dict[Node, int] = {}
+        for idx in rnd:
+            u, v = result.moves[idx]
+            loads[u] = loads.get(u, 0) + 1
+            loads[v] = loads.get(v, 0) + 1
+        for v, n in loads.items():
+            if n > instance.capacities[v]:
+                raise ScheduleValidationError(
+                    f"recorded round {i}: {v!r} runs {n} > c_v={instance.capacities[v]}"
+                )

@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.core.solver import plan_migration
+from repro.pipeline.planner import plan
 from repro.graphs.multigraph import EdgeId, Node
 
 
@@ -69,7 +69,7 @@ def size_class_schedule(
     for k in sorted(buckets, reverse=True):  # big items first
         sub = instance.graph.edge_subgraph(buckets[k])
         sub_instance = MigrationInstance(sub, {v: instance.capacity(v) for v in sub.nodes})
-        sub_schedule = plan_migration(sub_instance, method=method)
+        sub_schedule = plan(sub_instance, method=method).schedule
         all_rounds.extend(sub_schedule.rounds)
     schedule = MigrationSchedule(all_rounds, method=f"{method}+size_class")
     schedule.validate(instance)

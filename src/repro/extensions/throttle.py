@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.core.solver import plan_migration
+from repro.pipeline.planner import plan
 
 
 @dataclass(frozen=True)
@@ -64,7 +64,7 @@ def throttled_schedule(
     throttle level.
     """
     reduced = MigrationInstance(instance.graph.copy(), throttled_capacities(instance, theta))
-    schedule = plan_migration(reduced, method=method, seed=seed)
+    schedule = plan(reduced, method=method, seed=seed).schedule
     tagged = MigrationSchedule(schedule.rounds, method=f"{schedule.method}@θ={theta:g}")
     tagged.validate(instance)
     return tagged

@@ -1,0 +1,100 @@
+"""Exporters: where trace records land.
+
+* :class:`JsonlExporter` — one sorted-key JSON object per line, the
+  archival format ``repro-migrate stats`` consumes.  The first line of
+  a fresh file is a ``meta`` record carrying the schema version.
+* :class:`InMemoryExporter` — collects records in a list; the test
+  and ad-hoc-analysis exporter.
+* :func:`write_prometheus` / :func:`repro.obs.metrics.render_prometheus`
+  — the Prometheus text exposition of a metrics registry.
+
+Sorted keys everywhere make traces byte-comparable across processes
+and ``PYTHONHASHSEED`` values; only timing floats differ between two
+traces of the same deterministic run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Exporter
+
+
+def meta_record() -> Dict[str, Any]:
+    """The header record opening every fresh JSONL trace."""
+    return {
+        "kind": "meta",
+        "schema": TRACE_SCHEMA_VERSION,
+        "source": "repro.obs",
+    }
+
+
+class JsonlExporter(Exporter):
+    """Append-structured JSONL trace file, keys sorted.
+
+    Args:
+        path: output file.
+        append: continue an existing trace (e.g. a resumed run) —
+            skips the ``meta`` header when the file already has bytes.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = str(path)
+        fresh = not (append and os.path.exists(self.path) and os.path.getsize(self.path))
+        self._handle = open(self.path, "a" if append else "w")
+        if fresh:
+            self.export(meta_record())
+
+    def export(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(dict(record), sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InMemoryExporter(Exporter):
+    """Collects records in order; for tests and in-process analysis."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def export(self, record: Mapping[str, Any]) -> None:
+        self.records.append(dict(record))
+
+    def close(self) -> None:
+        self.closed = True
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == "span"]
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back into a list of records."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str, prefix: str = "repro_"
+) -> None:
+    """Write the registry's Prometheus text exposition to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_prometheus(registry, prefix=prefix))

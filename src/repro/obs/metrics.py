@@ -1,0 +1,244 @@
+"""Typed metrics: counters, gauges, histograms, and their registry.
+
+Three deliberately small instrument types, one registry to own them:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Gauge` — a float set to the latest observation;
+* :class:`Histogram` — observations bucketed against **fixed**
+  boundaries chosen at creation time (boundaries never adapt to data,
+  so two runs of the same workload always produce comparable buckets).
+
+The registry is the single source of truth a :class:`~repro.obs.trace.Tracer`
+and :class:`~repro.runtime.telemetry.RuntimeTelemetry` write into.  All
+read paths (:meth:`MetricsRegistry.snapshot`, :meth:`to_records`,
+:func:`render_prometheus`) iterate names in sorted order, so rendered
+output is deterministic regardless of instrumentation order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram boundaries (seconds): micro to minute scale.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 60.0
+)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A float holding the most recent observation."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Observations bucketed against fixed boundaries.
+
+    ``counts[i]`` counts observations ``<= boundaries[i]``; the final
+    slot counts the overflow (``+Inf`` bucket).  Boundaries are fixed
+    at construction and strictly increasing.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count")
+
+    def __init__(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing"
+            )
+        self.name = name
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per boundary plus the ``+Inf`` total."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """Owns every instrument; get-or-create by name.
+
+    A name is bound to exactly one instrument kind — asking for a
+    counter named like an existing gauge is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_unbound(self, name: str, want: str) -> None:
+        kinds = (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        )
+        for kind, table in kinds:
+            if kind != want and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_unbound(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_unbound(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._check_unbound(name, "histogram")
+            self._histograms[name] = Histogram(
+                name, boundaries if boundaries is not None else DEFAULT_LATENCY_BUCKETS
+            )
+        return self._histograms[name]
+
+    # ------------------------------------------------------------------
+    # deterministic read views
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter values in name order."""
+        return {k: self._counters[k].value for k in sorted(self._counters)}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {k: self._gauges[k].value for k in sorted(self._gauges)}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return {k: self._histograms[k] for k in sorted(self._histograms)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of every instrument, keys sorted."""
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": {
+                name: {
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """One trace record per instrument (the exporter wire form)."""
+        records: List[Dict[str, Any]] = []
+        for name, value in self.counters.items():
+            records.append({"kind": "counter", "name": name, "value": value})
+        for name, gvalue in self.gauges.items():
+            records.append({"kind": "gauge", "name": name, "value": gvalue})
+        for name, h in self.histograms.items():
+            records.append(
+                {
+                    "kind": "histogram",
+                    "name": name,
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+            )
+        return records
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return prefix + safe
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Deterministic: metrics appear in name order, histogram buckets in
+    boundary order, and float formatting is ``repr``-stable.
+    """
+    lines: List[str] = []
+    for name, value in registry.counters.items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, gvalue in registry.gauges.items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gvalue)}")
+    for name, hist in registry.histograms.items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = hist.cumulative()
+        for boundary, cum in zip(hist.boundaries, cumulative):
+            lines.append(f'{metric}_bucket{{le="{_format_value(boundary)}"}} {cum}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{metric}_sum {_format_value(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,94 @@
+"""Canonical metric and span names.
+
+Counter names used to be free-form strings scattered through the
+executor and its docstrings — a typo silently created (and zeroed) a
+brand-new counter instead of incrementing the intended one.  Every
+name the stack emits now lives here as a module-level constant, and
+the consumers (:mod:`repro.runtime.executor`,
+:mod:`repro.analysis.metrics`, the ``repro-migrate`` CLI) import the
+same constants, so a misspelling is an ``AttributeError`` at import
+time rather than a quietly-wrong dashboard.
+
+The string *values* are frozen: runtime counter names are part of the
+checkpoint format (:meth:`RuntimeTelemetry.get_state`) and of archived
+JSONL traces, so renaming a constant must never change its value.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# runtime executor counters (checkpointed — values are frozen)
+# ----------------------------------------------------------------------
+
+TRANSFERS_ATTEMPTED = "transfers_attempted"
+TRANSFERS_SUCCEEDED = "transfers_succeeded"
+TRANSFERS_FAILED = "transfers_failed"
+RETRIES = "retries"
+DEFERS = "defers"
+ESCALATIONS = "escalations"
+REPLANS = "replans"
+DISK_CRASHES = "disk_crashes"
+ITEMS_STRANDED = "items_stranded"
+ITEMS_RETARGETED_IN_PLACE = "items_retargeted_in_place"
+REPLAN_COMPONENTS_SOLVED = "replan_components_solved"
+REPLAN_COMPONENTS_CACHED = "replan_components_cached"
+
+#: Per-failure-reason counters are ``failures_<reason>`` where
+#: ``reason`` is one of the executor's outcome reasons
+#: (``fault`` / ``partition`` / ``timeout``).
+FAILURE_PREFIX = "failures_"
+FAILURES_FAULT = FAILURE_PREFIX + "fault"
+FAILURES_PARTITION = FAILURE_PREFIX + "partition"
+FAILURES_TIMEOUT = FAILURE_PREFIX + "timeout"
+
+
+def failure_counter(reason: str) -> str:
+    """The counter name for a failure ``reason`` (e.g. ``"timeout"``)."""
+    return FAILURE_PREFIX + reason
+
+
+#: Gauge set to 1 when a supervised run drains its work queue.
+RUNTIME_FINISHED = "runtime_finished"
+
+# ----------------------------------------------------------------------
+# planning pipeline counters (tracer metrics only, never checkpointed)
+# ----------------------------------------------------------------------
+
+PLAN_CACHE_HITS = "plan_cache_hits"
+PLAN_CACHE_MISSES = "plan_cache_misses"
+PLAN_COMPONENTS_SOLVED = "plan_components_solved"
+PLAN_COMPONENTS_CACHED = "plan_components_cached"
+
+# ----------------------------------------------------------------------
+# span names
+# ----------------------------------------------------------------------
+
+#: Root span of one :func:`repro.pipeline.plan` call.
+SPAN_PLAN = "pipeline.plan"
+
+#: Per-stage spans are ``pipeline.stage.<stage>`` for the six stages.
+SPAN_STAGE_PREFIX = "pipeline.stage."
+
+#: One span per in-process component solve (attrs: method, component).
+SPAN_SOLVE = "pipeline.solve"
+
+#: One span covering a parallel pool solve of several components.
+SPAN_SOLVE_POOL = "pipeline.solve.pool"
+
+#: One span per executed runtime round (attrs: round, attempted,
+#: succeeded, failed, sim_start, sim_end).
+SPAN_ROUND = "runtime.round"
+
+#: One span per runtime replan (attrs: reason, remaining, rounds).
+SPAN_REPLAN = "runtime.replan"
+
+#: Root span of one synchronous engine execution.
+SPAN_CLUSTER_EXECUTE = "cluster.execute"
+
+#: One span per engine round (attrs: round, transfers, duration).
+SPAN_CLUSTER_ROUND = "cluster.round"
+
+
+def stage_span(stage: str) -> str:
+    """The span name for a pipeline stage (e.g. ``"solve"``)."""
+    return SPAN_STAGE_PREFIX + stage

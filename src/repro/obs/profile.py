@@ -1,0 +1,69 @@
+"""Lightweight wall/CPU profiling primitives.
+
+The pipeline and runtime measure themselves with a :class:`Stopwatch`
+— two clock reads on entry, two on exit — and fold the results into
+:class:`Timing` accumulators keyed by stage or solver name.  Clocks
+are injectable (monotonic by default) so tests can drive deterministic
+timings and the determinism linter has nothing to flag: profiling
+reads *elapsed* clocks, never the wall-clock date.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Callable, Dict, Optional, Type
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class Timing:
+    """Accumulated wall and CPU seconds for one profiled key."""
+
+    wall: float = 0.0
+    cpu: float = 0.0
+    calls: int = 0
+
+    def add(self, wall: float, cpu: float) -> None:
+        self.wall += wall
+        self.cpu += cpu
+        self.calls += 1
+
+
+class Stopwatch:
+    """Context manager measuring wall (monotonic) and CPU seconds."""
+
+    __slots__ = ("_clock", "_cpu_clock", "_start", "_cpu_start", "wall", "cpu")
+
+    def __init__(
+        self,
+        clock: Clock = time.perf_counter,
+        cpu_clock: Clock = time.process_time,
+    ) -> None:
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._start = 0.0
+        self._cpu_start = 0.0
+        self.wall = 0.0
+        self.cpu = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock()
+        self._cpu_start = self._cpu_clock()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.wall = self._clock() - self._start
+        self.cpu = self._cpu_clock() - self._cpu_start
+
+
+def accumulate(profile: Dict[str, Timing], key: str, watch: Stopwatch) -> None:
+    """Fold a finished stopwatch into ``profile[key]``."""
+    profile.setdefault(key, Timing()).add(watch.wall, watch.cpu)

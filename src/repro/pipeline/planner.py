@@ -38,13 +38,16 @@ meaning.
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.general import GeneralSolverStats
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
+from repro.obs import names
+from repro.obs.profile import Stopwatch, Timing, accumulate
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.pipeline.cache import CachedPlan, PlanCache
 from repro.pipeline.canonical import (
     TokenRounds,
@@ -93,6 +96,14 @@ class PlanResult:
     requested_method: str
     components: List[ComponentPlan] = field(default_factory=list)
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: wall/CPU/call accumulators per pipeline stage (richer sibling of
+    #: ``stage_timings``, which remains the wall-seconds compatibility
+    #: view).
+    stage_profile: Dict[str, Timing] = field(default_factory=dict)
+    #: wall/CPU/call accumulators per solver method; pooled solves are
+    #: recorded under the single key ``"pool"`` (per-solver wall time
+    #: inside a process pool is not observable from the parent).
+    solver_profile: Dict[str, Timing] = field(default_factory=dict)
     parallel: bool = False
     workers: int = 1
     #: verified ``max(LB1, LB2)``; ``None`` unless ``certify=True``.
@@ -137,6 +148,18 @@ def _estimated_cost(component: Component) -> int:
     return m * n
 
 
+@contextmanager
+def _stage(tracer: Tracer, result: PlanResult, name: str) -> Iterator[None]:
+    """Time one pipeline stage into ``stage_timings``/``stage_profile``
+    and wrap it in a ``pipeline.stage.<name>`` span."""
+    with tracer.span(names.stage_span(name)):
+        watch = Stopwatch()
+        with watch:
+            yield
+    result.stage_timings[name] = result.stage_timings.get(name, 0.0) + watch.wall
+    accumulate(result.stage_profile, name, watch)
+
+
 def _round_trip(
     instance: MigrationInstance,
     schedule: MigrationSchedule,
@@ -161,6 +184,7 @@ def plan(
     parallel: Union[bool, str] = False,
     workers: Optional[int] = None,
     certify: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> PlanResult:
     """Plan a migration through the staged pipeline.
 
@@ -187,6 +211,12 @@ def plan(
             ``certificate`` and ``certified_optimal``).  Off by
             default: exhaustive small-component LB2 is exponential
             work the hot planning path must not pay implicitly.
+        tracer: optional :class:`repro.obs.Tracer`.  The call becomes
+            a ``pipeline.plan`` span with one child span per stage and
+            per in-process solve; cache hits/misses and component
+            counts land in the tracer's metrics registry.  The default
+            no-op tracer makes instrumentation free — and the output
+            schedule never depends on the tracer either way.
 
     Returns:
         A :class:`PlanResult`; its schedule is already validated.
@@ -203,22 +233,26 @@ def plan(
     if stats is not None:
         cache = None
         parallel = False
+    tr = ensure_tracer(tracer)
 
-    t0 = time.perf_counter()
-    normalized = normalize(instance)
-    timings["normalize"] = time.perf_counter() - t0
+    with tr.span(names.SPAN_PLAN, method=method, seed=seed) as root:
+        with _stage(tr, result, "normalize"):
+            normalized = normalize(instance)
 
-    if method != "auto":
-        _plan_forced(instance, method, seed, stats, cache, result)
-    else:
-        _plan_auto(instance, normalized.empty, seed, stats, cache,
-                   parallel, workers, result)
+        if method != "auto":
+            _plan_forced(instance, method, seed, stats, cache, result, tr)
+        else:
+            _plan_auto(instance, normalized.empty, seed, stats, cache,
+                       parallel, workers, result, tr)
 
-    t0 = time.perf_counter()
-    result.schedule.validate(instance)
-    if certify:
-        _certify(instance, result, cache)
-    timings["certify"] = time.perf_counter() - t0
+        with _stage(tr, result, "certify"):
+            result.schedule.validate(instance)
+            if certify:
+                _certify(instance, result, cache)
+        root.set(
+            rounds=result.schedule.num_rounds,
+            components=len(result.components),
+        )
     return result
 
 
@@ -233,30 +267,42 @@ def _plan_forced(
     stats: Optional[GeneralSolverStats],
     cache: Optional[PlanCache],
     result: PlanResult,
+    tracer: Tracer,
 ) -> None:
     spec = get_solver(method)
-    t0 = time.perf_counter()
-    fp = fingerprint(instance)
-    cached = False
-    schedule: Optional[MigrationSchedule] = None
-    if cache is not None and fp is not None:
-        hit = cache.get_plan(fp, spec.name, seed)
-        if hit is not None:
-            schedule = MigrationSchedule(
-                rehydrate_rounds(instance, hit.rounds), method=hit.method
-            )
-            cached = True
-    if schedule is None:
-        schedule = _round_trip(instance, spec.solve(instance, seed, stats), fp)
+    with _stage(tracer, result, "solve"):
+        fp = fingerprint(instance)
+        cached = False
+        schedule: Optional[MigrationSchedule] = None
         if cache is not None and fp is not None:
-            cache.put_plan(
-                fp, spec.name, seed,
-                CachedPlan(
-                    method=schedule.method,
-                    rounds=canonicalize_rounds(instance, schedule.rounds),
-                ),
-            )
-    result.stage_timings["solve"] = time.perf_counter() - t0
+            hit = cache.get_plan(fp, spec.name, seed)
+            if hit is not None:
+                schedule = MigrationSchedule(
+                    rehydrate_rounds(instance, hit.rounds), method=hit.method
+                )
+                cached = True
+                tracer.count(names.PLAN_CACHE_HITS)
+            else:
+                tracer.count(names.PLAN_CACHE_MISSES)
+        if schedule is None:
+            with tracer.span(names.SPAN_SOLVE, method=spec.name, component=0):
+                watch = Stopwatch()
+                with watch:
+                    solved = spec.solve(instance, seed, stats)
+            accumulate(result.solver_profile, spec.name, watch)
+            schedule = _round_trip(instance, solved, fp)
+            if cache is not None and fp is not None:
+                cache.put_plan(
+                    fp, spec.name, seed,
+                    CachedPlan(
+                        method=schedule.method,
+                        rounds=canonicalize_rounds(instance, schedule.rounds),
+                    ),
+                )
+    if cached:
+        tracer.count(names.PLAN_COMPONENTS_CACHED)
+    else:
+        tracer.count(names.PLAN_COMPONENTS_SOLVED)
     result.schedule = schedule
     result.components = [
         ComponentPlan(
@@ -285,10 +331,10 @@ def _plan_auto(
     parallel: Union[bool, str],
     workers: Optional[int],
     result: PlanResult,
+    tracer: Tracer,
 ) -> None:
-    t0 = time.perf_counter()
-    components = decompose(instance)
-    result.stage_timings["decompose"] = time.perf_counter() - t0
+    with _stage(tracer, result, "decompose"):
+        components = decompose(instance)
 
     if not components:
         # Nothing to move; resolve exactly like the legacy dispatcher
@@ -299,59 +345,78 @@ def _plan_auto(
         result.schedule = schedule
         return
 
-    t0 = time.perf_counter()
-    selections: List[SolverSpec] = [
-        select_solver(comp.instance) for comp in components
-    ]
-    result.stage_timings["select"] = time.perf_counter() - t0
+    with _stage(tracer, result, "select"):
+        selections: List[SolverSpec] = [
+            select_solver(comp.instance) for comp in components
+        ]
 
-    t0 = time.perf_counter()
-    seeds: List[int] = []
-    outcomes: List[Optional[Tuple[TokenRounds, str]]] = [None] * len(components)
-    cached_flags = [False] * len(components)
-    for k, (comp, spec) in enumerate(zip(components, selections)):
-        comp_seed = (
-            derive_component_seed(seed, comp.fingerprint)
-            if comp.fingerprint is not None
-            else seed
-        )
-        seeds.append(comp_seed)
-        if cache is not None and comp.fingerprint is not None:
-            hit = cache.get_plan(comp.fingerprint, spec.name, seed)
-            if hit is not None:
-                outcomes[k] = (hit.rounds, hit.method)
-                cached_flags[k] = True
-
-    miss_indices = [k for k, out in enumerate(outcomes) if out is None]
-    jobs: List[SolveJob] = [
-        (components[k].instance, selections[k].name, seeds[k])
-        for k in miss_indices
-    ]
-    use_pool = _should_parallelize(parallel, [components[k] for k in miss_indices])
-    if use_pool:
-        solved = solve_jobs(jobs, max_workers=workers)
-    else:
-        solved = [solve_job(job, stats) for job in jobs]
-    for k, outcome in zip(miss_indices, solved):
-        outcomes[k] = outcome
-        comp, spec = components[k], selections[k]
-        if cache is not None and comp.fingerprint is not None:
-            cache.put_plan(
-                comp.fingerprint, spec.name, seed,
-                CachedPlan(method=outcome[1], rounds=outcome[0]),
+    with _stage(tracer, result, "solve"):
+        seeds: List[int] = []
+        outcomes: List[Optional[Tuple[TokenRounds, str]]] = [None] * len(components)
+        cached_flags = [False] * len(components)
+        for k, (comp, spec) in enumerate(zip(components, selections)):
+            comp_seed = (
+                derive_component_seed(seed, comp.fingerprint)
+                if comp.fingerprint is not None
+                else seed
             )
-    result.stage_timings["solve"] = time.perf_counter() - t0
+            seeds.append(comp_seed)
+            if cache is not None and comp.fingerprint is not None:
+                hit = cache.get_plan(comp.fingerprint, spec.name, seed)
+                if hit is not None:
+                    outcomes[k] = (hit.rounds, hit.method)
+                    cached_flags[k] = True
+                    tracer.count(names.PLAN_CACHE_HITS)
+                else:
+                    tracer.count(names.PLAN_CACHE_MISSES)
 
-    t0 = time.perf_counter()
-    component_rounds = []
-    methods = []
-    for comp, outcome in zip(components, outcomes):
-        assert outcome is not None  # every index is filled above
-        tokens, solver_method = outcome
-        component_rounds.append(rehydrate_rounds(comp.instance, tokens))
-        methods.append(solver_method)
-    result.schedule = merge(instance, component_rounds, methods)
-    result.stage_timings["merge"] = time.perf_counter() - t0
+        miss_indices = [k for k, out in enumerate(outcomes) if out is None]
+        jobs: List[SolveJob] = [
+            (components[k].instance, selections[k].name, seeds[k])
+            for k in miss_indices
+        ]
+        use_pool = _should_parallelize(parallel, [components[k] for k in miss_indices])
+        if use_pool:
+            # Spans cannot propagate out of pool workers; one umbrella
+            # span stands in for the whole batch.
+            with tracer.span(names.SPAN_SOLVE_POOL, jobs=len(jobs)):
+                watch = Stopwatch()
+                with watch:
+                    solved = solve_jobs(jobs, max_workers=workers)
+            accumulate(result.solver_profile, "pool", watch)
+        else:
+            solved = []
+            for k, job in zip(miss_indices, jobs):
+                with tracer.span(names.SPAN_SOLVE, method=job[1], component=k):
+                    watch = Stopwatch()
+                    with watch:
+                        solved.append(solve_job(job, stats))
+                accumulate(result.solver_profile, job[1], watch)
+        for k, outcome in zip(miss_indices, solved):
+            outcomes[k] = outcome
+            comp, spec = components[k], selections[k]
+            if cache is not None and comp.fingerprint is not None:
+                cache.put_plan(
+                    comp.fingerprint, spec.name, seed,
+                    CachedPlan(method=outcome[1], rounds=outcome[0]),
+                )
+        if miss_indices:
+            tracer.count(names.PLAN_COMPONENTS_SOLVED, len(miss_indices))
+        if len(components) > len(miss_indices):
+            tracer.count(
+                names.PLAN_COMPONENTS_CACHED,
+                len(components) - len(miss_indices),
+            )
+
+    with _stage(tracer, result, "merge"):
+        component_rounds = []
+        methods = []
+        for comp, outcome in zip(components, outcomes):
+            assert outcome is not None  # every index is filled above
+            tokens, solver_method = outcome
+            component_rounds.append(rehydrate_rounds(comp.instance, tokens))
+            methods.append(solver_method)
+        result.schedule = merge(instance, component_rounds, methods)
 
     result.parallel = use_pool
     result.workers = workers if (use_pool and workers) else 1

@@ -11,7 +11,7 @@ actually demands — migrations run while the storage system is degraded
 * :class:`FaultPlan` injects transfer faults, disk crashes and
   transient network partitions, deterministically under a seed;
 * :class:`RetryPolicy` climbs the retry → defer → replan ladder,
-  replanning via :func:`repro.core.solver.plan_migration` on the
+  replanning via the canonical :func:`repro.plan` pipeline on the
   residual transfer graph;
 * :mod:`~repro.runtime.checkpoint` snapshots the whole run to JSON so
   a killed run resumes exactly;
@@ -22,12 +22,12 @@ actually demands — migrations run while the storage system is degraded
 
 Quickstart::
 
-    from repro.core.solver import plan_migration
+    from repro import plan
     from repro.runtime import FaultPlan, MigrationExecutor
     from repro.workloads.scenarios import decommission_scenario
 
     scenario = decommission_scenario(seed=1)
-    schedule = plan_migration(scenario.instance)
+    schedule = plan(scenario.instance).schedule
     executor = MigrationExecutor(
         scenario.cluster, scenario.context, schedule,
         faults=FaultPlan(transfer_failure_rate=0.1), seed=1,

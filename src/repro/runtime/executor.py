@@ -47,7 +47,10 @@ from repro.cluster.events import (
 )
 from repro.cluster.item import ItemId
 from repro.cluster.system import MigrationPlanContext, StorageCluster
+from repro.compat import warn_once
 from repro.core.schedule import MigrationSchedule
+from repro.obs import names
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.pipeline.cache import PlanCache
 from repro.pipeline.planner import plan
 from repro.runtime.faults import FaultInjector, FaultPlan
@@ -100,11 +103,11 @@ class MigrationExecutor:
             engine).
         rate_model: overrides ``time_model`` with any
             :class:`~repro.cluster.network.RateModel`.
-        method: planner method used for replans (``plan_migration``'s
+        method: planner method used for replans (``repro.plan``'s
             ``method=``).
         seed: seeds the executor RNG (fault draws + backoff jitter).
         trace: optional :class:`JsonlTraceWriter`.
-        plan_cache: optional :class:`~repro.pipeline.cache.PlanCache`
+        cache: optional :class:`~repro.pipeline.cache.PlanCache`
             shared with the planning pipeline.  When a crash touches
             one connected component of the residual transfer graph,
             replanning re-solves only that component and serves the
@@ -112,6 +115,13 @@ class MigrationExecutor:
             counters).  Plans are byte-identical with or without the
             cache, so the checkpoint/resume determinism contract is
             unaffected.
+        tracer: optional :class:`repro.obs.Tracer`.  Each executed
+            round and each replan becomes a span; telemetry counters
+            are mirrored into the tracer's metrics registry.  The
+            default no-op tracer costs nothing and changes nothing.
+        plan_cache: deprecated alias for ``cache`` (the kwarg is now
+            spelled the same across :func:`repro.plan`,
+            :meth:`MigrationEngine.replan` and this class).
     """
 
     def __init__(
@@ -127,14 +137,26 @@ class MigrationExecutor:
         method: str = "auto",
         seed: int = 0,
         trace: Optional[JsonlTraceWriter] = None,
+        cache: Optional[PlanCache] = None,
+        tracer: Optional[Tracer] = None,
         plan_cache: Optional[PlanCache] = None,
     ):
+        if plan_cache is not None:
+            warn_once(
+                "MigrationExecutor(plan_cache=)",
+                "MigrationExecutor(plan_cache=...) is deprecated; "
+                "use the canonical cache=... kwarg (same spelling as "
+                "repro.plan and MigrationEngine.replan)",
+            )
+            if cache is None:
+                cache = plan_cache
         self.cluster = cluster
         self.faults = FaultInjector(faults if faults is not None else FaultPlan())
         self.policy = policy if policy is not None else RetryPolicy()
         self.method = method
         self.seed = seed
-        self.plan_cache = plan_cache
+        self.plan_cache = cache
+        self.tracer = ensure_tracer(tracer)
         self._engine = MigrationEngine(cluster, time_model=time_model, rate_model=rate_model)
         self.time_model = time_model
         self._rng = random.Random(seed)
@@ -230,6 +252,7 @@ class MigrationExecutor:
             executed += 1
         report = self._report()
         if report.finished:
+            self.tracer.gauge(names.RUNTIME_FINISHED, 1.0)
             self._emit(
                 type="run_completed",
                 t=self._now,
@@ -238,6 +261,12 @@ class MigrationExecutor:
                 replans=self._replans,
             )
         return report
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump a checkpointed telemetry counter and mirror it into the
+        tracer's metrics registry (a no-op for the default tracer)."""
+        self.telemetry.count(name, n)
+        self.tracer.count(name, n)
 
     # ------------------------------------------------------------------
     # crash handling
@@ -248,7 +277,7 @@ class MigrationExecutor:
             if crash.disk_id in self.cluster.disks:
                 self.cluster.remove_disk(crash.disk_id)
             self.log.record(DiskRemoved(time=self._now, disk_id=crash.disk_id))
-            self.telemetry.count("disk_crashes")
+            self._count(names.DISK_CRASHES)
             self._emit(type="disk_crashed", t=self._now, disk=crash.disk_id)
             needs_replan = False
             for item in self.pending_items:
@@ -263,7 +292,7 @@ class MigrationExecutor:
     def _strand(self, item: ItemId, reason: str) -> None:
         self._states[item] = FAILED
         self._stranded.append(item)
-        self.telemetry.count("items_stranded")
+        self._count(names.ITEMS_STRANDED)
         self._emit(type="stranded", t=self._now, item=item, reason=reason)
 
     # ------------------------------------------------------------------
@@ -278,65 +307,65 @@ class MigrationExecutor:
         place.  Retry counters survive the replan — they belong to the
         item, not the plan.
         """
-        pending = self.pending_items
-        survivors = sorted(self.cluster.disks, key=repr)
-        if not survivors:
+        with self.tracer.span(names.SPAN_REPLAN, reason=reason) as span:
+            pending = self.pending_items
+            survivors = sorted(self.cluster.disks, key=repr)
+            if not survivors:
+                for item in pending:
+                    self._strand(item, reason="no surviving disks")
+                self._queue = []
+                span.set(remaining=0, rounds=0)
+                return
+            cursor = 0
+            new_target = self.cluster.layout.copy()
             for item in pending:
-                self._strand(item, reason="no surviving disks")
-            self._queue = []
-            return
-        cursor = 0
-        new_target = self.cluster.layout.copy()
-        for item in pending:
-            dst = self._targets[item]
-            src = self.cluster.layout.disk_of(item)
-            if dst not in self.cluster.disks:
-                dst = survivors[cursor % len(survivors)]
-                cursor += 1
-                if dst == src and len(survivors) > 1:
+                dst = self._targets[item]
+                src = self.cluster.layout.disk_of(item)
+                if dst not in self.cluster.disks:
                     dst = survivors[cursor % len(survivors)]
                     cursor += 1
-                self._targets[item] = dst
-            if dst == src:
-                # Re-aimed at where it already sits: nothing to move.
-                self._states[item] = DONE
-                self._delivered.append(item)
-                self.telemetry.count("items_retargeted_in_place")
-                self._emit(type="delivered_in_place", t=self._now, item=item)
-                continue
-            new_target.place(item, dst)
-        context = self.cluster.migration_to(new_target)
-        result = plan(
-            context.instance,
-            method=self.method,
-            seed=self.seed,
-            cache=self.plan_cache,
-        )
-        schedule = result.schedule
-        self.telemetry.count(
-            "replan_components_solved", result.components_solved
-        )
-        self.telemetry.count(
-            "replan_components_cached", result.components_cached
-        )
-        self._install_plan(context)
-        self._queue = [
-            [context.edge_items[eid] for eid in rnd] for rnd in schedule.rounds
-        ]
-        self._replans += 1
-        self.telemetry.count("replans")
-        self.log.record(
-            MigrationReplanned(
-                time=self._now, reason=reason, remaining_items=context.num_moves
+                    if dst == src and len(survivors) > 1:
+                        dst = survivors[cursor % len(survivors)]
+                        cursor += 1
+                    self._targets[item] = dst
+                if dst == src:
+                    # Re-aimed at where it already sits: nothing to move.
+                    self._states[item] = DONE
+                    self._delivered.append(item)
+                    self._count(names.ITEMS_RETARGETED_IN_PLACE)
+                    self._emit(type="delivered_in_place", t=self._now, item=item)
+                    continue
+                new_target.place(item, dst)
+            context = self.cluster.migration_to(new_target)
+            result = plan(
+                context.instance,
+                method=self.method,
+                seed=self.seed,
+                cache=self.plan_cache,
+                tracer=self.tracer,
             )
-        )
-        self._emit(
-            type="replanned",
-            t=self._now,
-            reason=reason,
-            remaining=context.num_moves,
-            rounds=len(self._queue),
-        )
+            schedule = result.schedule
+            self._count(names.REPLAN_COMPONENTS_SOLVED, result.components_solved)
+            self._count(names.REPLAN_COMPONENTS_CACHED, result.components_cached)
+            self._install_plan(context)
+            self._queue = [
+                [context.edge_items[eid] for eid in rnd] for rnd in schedule.rounds
+            ]
+            self._replans += 1
+            self._count(names.REPLANS)
+            span.set(remaining=context.num_moves, rounds=len(self._queue))
+            self.log.record(
+                MigrationReplanned(
+                    time=self._now, reason=reason, remaining_items=context.num_moves
+                )
+            )
+            self._emit(
+                type="replanned",
+                t=self._now,
+                reason=reason,
+                remaining=context.num_moves,
+                rounds=len(self._queue),
+            )
 
     # ------------------------------------------------------------------
     # round execution
@@ -347,6 +376,12 @@ class MigrationExecutor:
         ]
         index = self._round_index
         start = self._now
+        with self.tracer.span(names.SPAN_ROUND, round=index) as span:
+            self._execute_round_body(round_items, index, start, span)
+
+    def _execute_round_body(
+        self, round_items: List[ItemId], index: int, start: float, span: Any
+    ) -> None:
         self.log.record(
             RoundStarted(time=start, round_index=index, num_transfers=len(round_items))
         )
@@ -384,13 +419,13 @@ class MigrationExecutor:
         succeeded = failed = 0
         escalate: Optional[ItemId] = None
         for item, src, dst, _eid, reason in outcomes:
-            self.telemetry.count("transfers_attempted")
+            self._count(names.TRANSFERS_ATTEMPTED)
             if reason is None:
                 self.cluster.apply_move(item, dst)
                 self._states[item] = DONE
                 self._delivered.append(item)
                 succeeded += 1
-                self.telemetry.count("transfers_succeeded")
+                self._count(names.TRANSFERS_SUCCEEDED)
                 self.log.record(
                     ItemMigrated(
                         time=self._now,
@@ -411,8 +446,8 @@ class MigrationExecutor:
                 )
                 continue
             failed += 1
-            self.telemetry.count("transfers_failed")
-            self.telemetry.count(f"failures_{reason}")
+            self._count(names.TRANSFERS_FAILED)
+            self._count(names.failure_counter(reason))
             self._states[item] = PENDING
             self._attempts[item] = self._attempts.get(item, 0) + 1
             action = self.policy.decide(
@@ -421,12 +456,12 @@ class MigrationExecutor:
             if action is EscalationAction.RETRY:
                 wait = self.policy.backoff_rounds(self._attempts[item], self._rng)
                 self._inject(item, wait - 1)
-                self.telemetry.count("retries")
+                self._count(names.RETRIES)
             elif action is EscalationAction.DEFER:
                 self._defers[item] = self._defers.get(item, 0) + 1
                 self._attempts[item] = 0
                 self._inject(item, len(self._queue))
-                self.telemetry.count("defers")
+                self._count(names.DEFERS)
             elif item in self._escalated:
                 # Second trip up the whole ladder: the failure is not
                 # transient and replanning won't change it.  Strand.
@@ -439,7 +474,7 @@ class MigrationExecutor:
                 self._attempts[item] = 0
                 self._inject(item, 0)
                 escalate = item
-                self.telemetry.count("escalations")
+                self._count(names.ESCALATIONS)
             self._emit(
                 type="transfer",
                 t=self._now,
@@ -454,6 +489,13 @@ class MigrationExecutor:
 
         self.telemetry.record_round(
             index, start, duration, len(outcomes), succeeded, failed
+        )
+        span.set(
+            attempted=len(outcomes),
+            succeeded=succeeded,
+            failed=failed,
+            sim_start=start,
+            sim_duration=duration,
         )
         self.log.record(RoundCompleted(time=self._now, round_index=index, duration=duration))
         self._emit(
@@ -569,6 +611,8 @@ class MigrationExecutor:
         method: str = "auto",
         seed: int = 0,
         trace: Optional[JsonlTraceWriter] = None,
+        cache: Optional[PlanCache] = None,
+        tracer: Optional[Tracer] = None,
         plan_cache: Optional[PlanCache] = None,
     ) -> "MigrationExecutor":
         """Rebuild an executor from :meth:`get_state` output.
@@ -576,9 +620,18 @@ class MigrationExecutor:
         ``cluster`` must be the *original* cluster, reconstructed the
         same way as for the interrupted run (e.g. the same scenario and
         seed); the snapshot replays crashes and the layout onto it.
-        The plan cache is transient (never checkpointed): resuming
-        without one only costs re-solves, never changes plans.
+        The plan cache and tracer are transient (never checkpointed):
+        resuming without them only costs re-solves and observability,
+        never changes plans.
         """
+        if plan_cache is not None:
+            warn_once(
+                "MigrationExecutor.from_state(plan_cache=)",
+                "MigrationExecutor.from_state(plan_cache=...) is deprecated; "
+                "use the canonical cache=... kwarg",
+            )
+            if cache is None:
+                cache = plan_cache
         ex = cls(
             cluster,
             None,  # type: ignore[arg-type] - resume path installs its own plan
@@ -590,7 +643,8 @@ class MigrationExecutor:
             method=method,
             seed=seed,
             trace=trace,
-            plan_cache=plan_cache,
+            cache=cache,
+            tracer=tracer,
         )
         ex._now = float(state["now"])
         ex._round_index = int(state["round_index"])

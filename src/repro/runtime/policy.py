@@ -12,7 +12,7 @@ next, based on how often this item has already failed:
    partition — time to clear;
 3. **replan** — a transfer that survives neither retries nor deferrals
    escalates: the executor rebuilds the residual transfer graph and
-   asks :func:`repro.core.solver.plan_migration` for a new schedule.
+   asks the canonical :func:`repro.plan` pipeline for a new schedule.
 
 A per-attempt ``transfer_timeout`` (simulated time) turns pathological
 slow transfers into failures that climb the same ladder.

@@ -20,25 +20,33 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 
 class RuntimeTelemetry:
     """Named counters and per-round timing records.
 
-    Counter names are free-form; the executor uses
-    ``transfers_attempted``, ``transfers_succeeded``,
-    ``transfers_failed``, ``failures_fault`` / ``failures_partition``
-    / ``failures_timeout``, ``retries``, ``defers``, ``escalations``,
-    ``replans``, ``disk_crashes``, ``items_stranded`` and
-    ``items_retargeted_in_place``.
+    A thin adapter over :class:`repro.obs.metrics.MetricsRegistry`
+    that adds the per-round record list and checkpoint round-tripping.
+    Counter names are the module-level constants of
+    :mod:`repro.obs.names` (``TRANSFERS_ATTEMPTED``,
+    ``FAILURES_FAULT``, ``RETRIES``, ``REPLANS``, ...) — the executor,
+    the metrics summarizers and the CLI all import the same constants,
+    so a typo cannot silently zero a counter.
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
+        self._metrics = MetricsRegistry()
         self._rounds: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + n
+        self._metrics.counter(name).inc(n)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The underlying typed registry (for Prometheus export etc.)."""
+        return self._metrics
 
     def record_round(
         self,
@@ -64,7 +72,7 @@ class RuntimeTelemetry:
     @property
     def counters(self) -> Dict[str, int]:
         """Counters in name order (deterministic)."""
-        return {k: self._counters[k] for k in sorted(self._counters)}
+        return self._metrics.counters
 
     @property
     def rounds(self) -> List[Dict[str, Any]]:
@@ -91,7 +99,8 @@ class RuntimeTelemetry:
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "RuntimeTelemetry":
         telemetry = cls()
-        telemetry._counters = dict(state.get("counters", {}))
+        for name, value in state.get("counters", {}).items():
+            telemetry.count(name, int(value))
         telemetry._rounds = [dict(r) for r in state.get("rounds", [])]
         return telemetry
 

@@ -1,0 +1,125 @@
+"""Tests for typed metrics and the Prometheus renderer (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("n")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_holds_latest_value(self):
+        g = Gauge("g")
+        g.set(2)
+        g.set(0.5)
+        assert g.value == 0.5
+
+
+class TestHistogram:
+    def test_buckets_observations(self):
+        h = Histogram("h", boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 2.0, 50.0):
+            h.observe(v)
+        # counts: <=1.0, <=10.0, +Inf
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(53.5)
+        assert h.cumulative() == [2, 3, 4]
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_views_are_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc(2)
+        assert list(reg.counters) == ["alpha", "zeta"]
+        assert reg.counters == {"alpha": 2, "zeta": 1}
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_to_records_wire_form(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.0)
+        records = reg.to_records()
+        assert {"kind": "counter", "name": "c", "value": 3} in records
+        assert {"kind": "gauge", "name": "g", "value": 2.0} in records
+
+
+class TestPrometheus:
+    def test_golden_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("transfers_attempted").inc(7)
+        reg.gauge("runtime_finished").set(1.0)
+        reg.histogram("round.wall", boundaries=(0.5, 1.0)).observe(0.25)
+        reg.histogram("round.wall").observe(2.0)
+        expected = (
+            "# TYPE repro_transfers_attempted counter\n"
+            "repro_transfers_attempted 7\n"
+            "# TYPE repro_runtime_finished gauge\n"
+            "repro_runtime_finished 1\n"
+            "# TYPE repro_round_wall histogram\n"
+            'repro_round_wall_bucket{le="0.5"} 1\n'
+            'repro_round_wall_bucket{le="1"} 1\n'
+            'repro_round_wall_bucket{le="+Inf"} 2\n'
+            "repro_round_wall_sum 2.25\n"
+            "repro_round_wall_count 2\n"
+        )
+        assert render_prometheus(reg) == expected
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_rendering_is_instrumentation_order_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("one").inc()
+        a.counter("two").inc(2)
+        b.counter("two").inc(2)
+        b.counter("one").inc()
+        assert render_prometheus(a) == render_prometheus(b)

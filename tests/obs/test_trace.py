@@ -1,0 +1,201 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    InMemoryExporter,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+)
+from repro.obs.schema import validate_trace
+
+
+class FakeClock:
+    """A deterministic clock advanced by hand."""
+
+    def __init__(self, start=0.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_tracer():
+    exporter = InMemoryExporter()
+    clock = FakeClock()
+    cpu = FakeClock()
+    tracer = Tracer(exporter, clock=clock, cpu_clock=cpu)
+    return tracer, exporter, clock, cpu
+
+
+class TestSpans:
+    def test_single_span_exports_on_exit(self):
+        tracer, exporter, clock, cpu = make_tracer()
+        with tracer.span("work", tag="x"):
+            clock.advance(2.0)
+            cpu.advance(1.5)
+            assert exporter.spans() == []
+        (record,) = exporter.spans()
+        assert record["name"] == "work"
+        assert record["span"] == 1
+        assert record["parent"] is None
+        assert record["wall"] == pytest.approx(2.0)
+        assert record["cpu"] == pytest.approx(1.5)
+        assert record["attrs"] == {"tag": "x"}
+
+    def test_children_export_before_parents(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in exporter.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_nesting_sets_parent(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        by_name = {r["name"]: r for r in exporter.spans()}
+        assert by_name["a"]["parent"] is None
+        assert by_name["b"]["parent"] == by_name["a"]["span"]
+        assert by_name["c"]["parent"] == by_name["b"]["span"]
+
+    def test_siblings_share_parent(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("left"):
+                pass
+            with tracer.span("right"):
+                pass
+        by_name = {r["name"]: r for r in exporter.spans()}
+        assert by_name["left"]["parent"] == by_name["root"]["span"]
+        assert by_name["right"]["parent"] == by_name["root"]["span"]
+
+    def test_span_ids_sequential(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r["span"] for r in exporter.spans()] == [1, 2]
+
+    def test_set_positional_and_kwargs(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("s") as sp:
+            sp.set("rounds", 3)
+            sp.set(cached=True, method="auto")
+        (record,) = exporter.spans()
+        assert record["attrs"] == {"rounds": 3, "cached": True, "method": "auto"}
+
+    def test_exception_records_error_attr_and_closes(self):
+        tracer, exporter, _, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (record,) = exporter.spans()
+        assert record["attrs"]["error"] == "RuntimeError"
+        # The stack unwound: the next span is a root again.
+        with tracer.span("after"):
+            pass
+        assert exporter.spans()[-1]["parent"] is None
+
+    def test_late_parenting_reflects_entry_order(self):
+        # span() before entering an outer span must still nest under
+        # whatever is active at __enter__ time.
+        tracer, exporter, _, _ = make_tracer()
+        pending = tracer.span("child")
+        with tracer.span("outer"):
+            with pending:
+                pass
+        by_name = {r["name"]: r for r in exporter.spans()}
+        assert by_name["child"]["parent"] == by_name["outer"]["span"]
+
+    def test_decorator_wraps_calls(self):
+        tracer, exporter, _, _ = make_tracer()
+
+        @tracer.trace("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8
+        assert [r["name"] for r in exporter.spans()] == ["fn"]
+
+    def test_trace_is_valid_forest(self):
+        tracer, exporter, _, _ = make_tracer()
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("child"):
+                    with tracer.span("grandchild"):
+                        pass
+        tracer.close()
+        assert validate_trace(exporter.records) == []
+
+
+class TestTracerLifecycle:
+    def test_close_flushes_metrics_and_closes_exporter(self):
+        tracer, exporter, _, _ = make_tracer()
+        tracer.count("jobs", 2)
+        tracer.gauge("level", 0.5)
+        tracer.observe("latency", 0.01)
+        tracer.close()
+        kinds = [r["kind"] for r in exporter.records]
+        assert kinds == ["counter", "gauge", "histogram"]
+        assert exporter.closed
+
+    def test_close_is_idempotent(self):
+        tracer, exporter, _, _ = make_tracer()
+        tracer.count("jobs")
+        tracer.close()
+        tracer.close()
+        assert len([r for r in exporter.records if r["kind"] == "counter"]) == 1
+
+    def test_context_manager_closes(self):
+        exporter = InMemoryExporter()
+        with Tracer(exporter) as tracer:
+            tracer.count("x")
+        assert exporter.closed
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(InMemoryExporter()).enabled is True
+
+    def test_operations_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k=1) as sp:
+            sp.set("a", 1)
+            sp.set(b=2)
+        tracer.count("c")
+        tracer.gauge("g", 1.0)
+        tracer.observe("h", 1.0)
+        tracer.close()
+        assert tracer.metrics.counters == {}
+
+    def test_shared_span_object(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_decorator_returns_function_unchanged(self):
+        tracer = NullTracer()
+
+        def fn():
+            return 1
+
+        assert tracer.trace("x")(fn) is fn
+
+
+class TestEnsureTracer:
+    def test_none_maps_to_null_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+
+    def test_tracer_passes_through(self):
+        tracer = Tracer(InMemoryExporter())
+        assert ensure_tracer(tracer) is tracer

@@ -52,7 +52,7 @@ def run_with_crashes(plan_cache):
     )
     ex = MigrationExecutor(
         cluster, ctx, schedule,
-        faults=faults, time_model="unit", plan_cache=plan_cache,
+        faults=faults, time_model="unit", cache=plan_cache,
     )
     report = ex.run()
     assert report.finished

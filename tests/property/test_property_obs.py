@@ -1,0 +1,146 @@
+"""Property-based tests for repro.obs (hypothesis).
+
+The structural invariants the tracing substrate guarantees:
+
+* any program of nested span operations produces a trace that
+  validates as a **forest** — unique sequential ids, parents resolving
+  to enclosing spans, children exported before their parents;
+* with injected deterministic clocks, wall times are exact and a
+  parent's wall time contains each child's;
+* an arbitrary sequence of metric operations flushes to records that
+  pass the wire-schema validator, and the Prometheus rendering is
+  independent of instrumentation order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import InMemoryExporter, MetricsRegistry, Tracer, render_prometheus
+from repro.obs.schema import validate_trace
+
+# A span program is a tree drawn as nested lists; each node is a span
+# that (dt) advances the clock and then enters its children.
+span_trees = st.recursive(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    lambda children: st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.lists(children, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+class TickClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def run_program(tracer, clock, node, name="s"):
+    if isinstance(node, tuple):
+        dt, children = node
+    else:
+        dt, children = node, []
+    with tracer.span(name):
+        clock.advance(dt)
+        for i, child in enumerate(children):
+            run_program(tracer, clock, child, name=f"{name}.{i}")
+
+
+@given(st.lists(span_trees, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_span_programs_always_produce_valid_forests(forest):
+    exporter = InMemoryExporter()
+    clock = TickClock()
+    tracer = Tracer(exporter, clock=clock, cpu_clock=TickClock())
+    for i, tree in enumerate(forest):
+        run_program(tracer, clock, tree, name=f"root{i}")
+    tracer.close()
+
+    assert validate_trace(exporter.records) == []
+    spans = exporter.spans()
+    # Ids are unique and assigned 1..n in creation order.
+    ids = sorted(r["span"] for r in spans)
+    assert ids == list(range(1, len(spans) + 1))
+    # Roots are exactly the top-level trees.
+    assert sum(1 for r in spans if r["parent"] is None) == len(forest)
+
+
+@given(span_trees)
+@settings(max_examples=60, deadline=None)
+def test_parent_wall_time_contains_children(tree):
+    exporter = InMemoryExporter()
+    clock = TickClock()
+    tracer = Tracer(exporter, clock=clock, cpu_clock=TickClock())
+    run_program(tracer, clock, tree)
+    tracer.close()
+
+    spans = exporter.spans()
+    by_id = {r["span"]: r for r in spans}
+    for record in spans:
+        parent = record["parent"]
+        if parent is not None:
+            # strict containment up to float addition error
+            assert record["wall"] <= by_id[parent]["wall"] + 1e-6
+    # The root's wall time is the total simulated elapsed time.
+    root = next(r for r in spans if r["parent"] is None)
+    assert root["wall"] == clock.t
+
+
+metric_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("count"),
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=100),
+        ),
+        st.tuples(
+            st.just("gauge"),
+            st.sampled_from(["g1", "g2"]),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+        st.tuples(
+            st.just("observe"),
+            st.sampled_from(["h1", "h2"]),
+            # Quarter-integer observations sum exactly in binary
+            # floating point, keeping the bucket *sums* reorderable.
+            st.integers(min_value=0, max_value=400).map(lambda n: n / 4.0),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@given(metric_ops)
+@settings(max_examples=60, deadline=None)
+def test_metric_records_always_validate(ops):
+    exporter = InMemoryExporter()
+    tracer = Tracer(exporter)
+    for op, name, value in ops:
+        getattr(tracer, op)(name, value)
+    tracer.close()
+    assert validate_trace(exporter.records) == []
+
+
+@given(metric_ops)
+@settings(max_examples=60, deadline=None)
+def test_prometheus_rendering_is_order_independent(ops):
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    for registry, sequence in ((forward, ops), (backward, list(reversed(ops)))):
+        for op, name, value in sequence:
+            if op == "count":
+                registry.counter(name).inc(value)
+            elif op == "gauge":
+                registry.gauge(name).set(value)
+            else:
+                registry.histogram(name).observe(value)
+    # Counters and histograms accumulate commutatively; gauges keep the
+    # last write, which reversal changes — align them before comparing.
+    for name, value in forward.gauges.items():
+        backward.gauge(name).set(value)
+    assert render_prometheus(forward) == render_prometheus(backward)

@@ -1,0 +1,106 @@
+"""Deprecation contract: legacy entry points warn exactly once each.
+
+The consolidated planning API (``repro.plan``) left the historical
+spellings in place as compatibility shims.  Each shim must emit one
+``DeprecationWarning`` per process — per entry point, not per call —
+and keep returning the same results.
+"""
+
+import warnings
+
+import pytest
+
+from repro import compat
+from repro.core.solver import plan_migration
+from repro.pipeline import PlanCache, plan
+from repro.runtime import MigrationExecutor
+from repro.workloads.scenarios import decommission_scenario
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes the warning as if in a fresh process."""
+    compat.reset_warned()
+    yield
+    compat.reset_warned()
+
+
+def scenario_executor(**kwargs):
+    scenario = decommission_scenario(seed=1)
+    schedule = plan(scenario.instance).schedule
+    return MigrationExecutor(
+        scenario.cluster, scenario.context, schedule, **kwargs
+    )
+
+
+class TestPlanMigrationShim:
+    def test_warns_once_per_process(self):
+        scenario = decommission_scenario(seed=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            plan_migration(scenario.instance)
+            plan_migration(scenario.instance)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.plan" in str(deprecations[0].message)
+
+    def test_matches_canonical_api(self):
+        scenario = decommission_scenario(seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = plan_migration(scenario.instance, method="auto", seed=0)
+        canonical = plan(scenario.instance, method="auto", seed=0).schedule
+        assert legacy.rounds == canonical.rounds
+        assert legacy.method == canonical.method
+
+
+class TestExecutorPlanCacheKwarg:
+    def test_plan_cache_kwarg_warns_and_still_works(self):
+        cache = PlanCache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            executor = scenario_executor(plan_cache=cache)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "cache=" in str(deprecations[0].message)
+        assert executor.plan_cache is cache
+
+    def test_canonical_cache_kwarg_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            executor = scenario_executor(cache=PlanCache())
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert executor.plan_cache is not None
+
+    def test_entry_points_warn_independently(self):
+        """One warning per entry point, not one per process total."""
+        scenario = decommission_scenario(seed=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            plan_migration(scenario.instance)
+            scenario_executor(plan_cache=PlanCache())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+
+
+class TestWarnOnce:
+    def test_keys_are_independent_and_resettable(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compat.warn_once("k1", "first")
+            compat.warn_once("k1", "first")
+            compat.warn_once("k2", "second")
+        assert len(caught) == 2
+        compat.reset_warned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compat.warn_once("k1", "first")
+        assert len(caught) == 1
