@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A client swarm against an in-process planning server.
+
+Boots the :mod:`repro.serve` service on an ephemeral port inside this
+process, then fires a burst of concurrent clients at it — several of
+which ask for the *same* migration instance.  The broker's
+single-flight coalescing answers every duplicate from one solve, and
+the plan cache answers stragglers that arrive after it finished;
+either way each client receives the identical canonical plan.
+
+Run:  python examples/serve_clients.py
+"""
+
+import random
+import threading
+
+from repro.core.problem import MigrationInstance
+from repro.serve import BrokerConfig, ServerConfig, start_in_process
+from repro.workloads.io import instance_from_json, instance_to_json
+
+
+def heavy_instance(seed: int, disks: int = 14, items: int = 150) -> MigrationInstance:
+    """One odd-capacity component sized so a solve takes real work —
+    wide enough a window for duplicate requests to pile onto it."""
+    rng = random.Random(seed)
+    nodes = [f"d{i:02d}" for i in range(disks)]
+    moves = [(a, b) for a, b in zip(nodes, nodes[1:])]
+    while len(moves) < items:
+        moves.append(tuple(rng.sample(nodes, 2)))
+    caps = {v: rng.choice((1, 3)) for v in nodes}
+    raw = MigrationInstance.from_moves(moves, caps)
+    # Round-trip through the wire format, exactly as a remote client would.
+    return instance_from_json(instance_to_json(raw))
+
+
+def main() -> None:
+    # Three distinct workloads, each requested by four clients at once.
+    instances = [heavy_instance(seed) for seed in (1, 2, 3)]
+    jobs = [inst for inst in instances for _ in range(4)]
+
+    outcomes = [None] * len(jobs)
+    barrier = threading.Barrier(len(jobs))
+
+    with start_in_process(
+        ServerConfig(broker=BrokerConfig(concurrency=2))
+    ) as handle:
+
+        def worker(k: int) -> None:
+            client = handle.client(client_id=f"client-{k}")
+            barrier.wait()  # release the whole swarm at once
+            outcomes[k] = client.plan(jobs[k])
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(len(jobs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        metrics = handle.client().metrics_text()
+
+    by_fingerprint = {}
+    for job, outcome in zip(jobs, outcomes):
+        by_fingerprint.setdefault(outcome.fingerprint, set()).add(
+            outcome.plan_bytes
+        )
+        outcome.schedule(job)  # validates against the instance
+
+    coalesced = sum(1 for o in outcomes if o.coalesced)
+    print(f"requests: {len(jobs)} ({len(instances)} distinct instances)")
+    print(
+        f"coalesced: {coalesced}/{len(jobs)} "
+        f"(hit-rate {coalesced / len(jobs):.0%})"
+    )
+    for fp, plans in sorted(by_fingerprint.items()):
+        assert len(plans) == 1, "duplicates must receive identical plans"
+        print(f"  {fp[:12]}…: {len(plans)} unique plan across its duplicates")
+
+    admitted = [
+        line for line in metrics.splitlines()
+        if line.startswith("repro_serve_requests")
+        or line.startswith("serve_requests")
+    ]
+    print("server counters:")
+    for line in admitted:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

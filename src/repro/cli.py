@@ -19,10 +19,15 @@ Subcommands:
   for archiving/replay.
 * ``gantt`` — schedule a JSON instance and render the per-disk round
   Gantt chart.
-* ``stats`` — summarize a :mod:`repro.obs` JSONL trace (written by
-  ``plan --trace-out`` or ``run --trace-out``): per-stage and
+* ``serve`` — stand the planner up as a long-lived asyncio service
+  (:mod:`repro.serve`): JSON-over-HTTP plan/certify endpoints with
+  request coalescing and backpressure, ``/healthz`` + ``/metrics``,
+  an optional persistent plan store, and graceful SIGTERM drain.
+* ``stats`` — summarize one or more :mod:`repro.obs` JSONL traces
+  (written by ``plan --trace-out``, ``run --trace-out`` or ``serve
+  --trace-out``) into a single aggregate report: per-stage and
   per-solver timings, per-round execution numbers, counters;
-  ``--validate`` checks the trace against the wire schema first.
+  ``--validate`` checks each trace against the wire schema first.
 * ``fuzz`` — cross-validate all schedulers on randomized instances.
 * ``check`` — correctness tooling (:mod:`repro.checks`): determinism
   linter, mypy strict gate, cross-``PYTHONHASHSEED`` harness, and
@@ -115,21 +120,45 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_plan(args: argparse.Namespace) -> int:
+def _open_plan_cache(store_path: Optional[str], no_cache: bool = False):
+    """A (possibly store-backed, warmed) PlanCache plus its store.
+
+    Returns ``(cache, store)``; the caller must ``flush``/``close``
+    the store when done.  ``--store`` overrides ``--no-cache`` — a
+    persistent store is pointless without a cache in front of it.
+    """
     from repro.pipeline import PlanCache
 
+    if store_path:
+        from repro.serve.store import open_store
+
+        store = open_store(store_path)
+        cache = PlanCache(store=store)
+        cache.warm()
+        return cache, store
+    return (None if no_cache else PlanCache()), None
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
     instance = _load_cli_instance(args)
     tracer = _open_tracer(args.trace_out)
+    cache, store = _open_plan_cache(args.store, args.no_cache)
     result = plan(
         instance,
         method=args.method,
         seed=args.seed,
-        cache=None if args.no_cache else PlanCache(),
+        cache=cache,
         parallel=args.parallel,
         workers=args.workers,
         certify=args.certify,
         tracer=tracer,
     )
+    if store is not None:
+        print(
+            f"# store={args.store} entries={len(store.keys())} "
+            f"hits={cache.stats.store_hits} misses={cache.stats.store_misses}"
+        )
+        store.close()
     if tracer is not None:
         tracer.close()
     schedule = result.schedule
@@ -280,10 +309,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = JsonlTraceWriter(args.trace, append=resuming) if args.trace else None
     tracer = _open_tracer(args.trace_out, append=resuming)
     # One cache for the run: the initial plan populates it and crash
-    # replans re-solve only the components the crash touched.
-    from repro.pipeline import PlanCache
-
-    plan_cache = PlanCache()
+    # replans re-solve only the components the crash touched.  With
+    # --store the cache also survives across processes (a killed run
+    # resumed later replans from persisted solves).
+    plan_cache, plan_store = _open_plan_cache(args.store)
 
     if resuming:
         try:
@@ -336,6 +365,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace.close()
     if tracer is not None:
         tracer.close()
+    if plan_store is not None:
+        plan_store.close()
 
     counters = report.telemetry.counters
     print(
@@ -400,14 +431,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import load_trace
     from repro.obs.schema import validate_trace
 
-    records = load_trace(args.trace)
-    if args.validate:
-        problems = validate_trace(records)
-        if problems:
-            for problem in problems:
-                print(f"invalid: {problem}", file=sys.stderr)
-            return 1
-        print(f"trace OK: {len(records)} records")
+    # Each trace validates on its own (span ids are per-process, so
+    # they may collide *across* files); aggregation then folds the
+    # concatenated record stream — counters sum, timings accumulate —
+    # which is how per-worker server traces merge into one report.
+    records = []
+    failures = 0
+    for path in args.trace:
+        trace_records = load_trace(path)
+        if args.validate:
+            problems = validate_trace(trace_records)
+            if problems:
+                for problem in problems:
+                    print(f"invalid ({path}): {problem}", file=sys.stderr)
+                failures += 1
+                continue
+            print(f"trace OK: {path}: {len(trace_records)} records")
+        records.extend(trace_records)
+    if failures:
+        return 1
+    if len(args.trace) > 1:
+        print(f"# merged {len(args.trace)} traces, {len(records)} records")
     stats = aggregate_trace(records)
     print(
         f"# spans={stats.spans} plans={stats.plans} replans={stats.replans} "
@@ -450,6 +494,40 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for gname, gvalue in stats.gauges.items():
             table.add_row(gname, gvalue)
         print(table.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.broker import BrokerConfig
+    from repro.serve.server import ServerConfig, serve as serve_main
+
+    try:
+        broker = BrokerConfig(
+            max_queue=args.queue_size,
+            concurrency=args.concurrency,
+            batch_size=args.batch_size,
+            rate_limit=args.rate,
+            rate_burst=args.burst,
+            default_timeout=args.timeout,
+            parallel="auto" if args.parallel else False,
+            workers=args.workers,
+        )
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            store_path=args.store,
+            broker=broker,
+            trace_out=args.trace_out,
+        )
+    except ValueError as exc:
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(serve_main(config))
+    except KeyboardInterrupt:
+        pass  # SIGINT before the loop's handler was installed
     return 0
 
 
@@ -559,6 +637,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pool width for --parallel")
     p_plan.add_argument("--no-cache", action="store_true",
                         help="disable the component plan cache")
+    p_plan.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent plan store (sqlite file or JSONL "
+                             "directory); warms the cache and writes new "
+                             "solves through")
     p_plan.add_argument("--certify", action="store_true",
                         help="compose and verify a per-component "
                              "lower-bound certificate")
@@ -619,7 +701,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace-out", metavar="PATH", default=None,
                        help="write a repro.obs span/metric JSONL trace "
                             "(appends when resuming; see `stats`)")
+    p_run.add_argument("--store", metavar="PATH", default=None,
+                       help="persistent plan store shared across runs "
+                            "(sqlite file or JSONL directory)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived asyncio planning service: plan/certify over "
+             "HTTP, coalescing, plan store, graceful drain (repro.serve)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8423,
+                         help="bind port (0 picks an ephemeral port)")
+    p_serve.add_argument("--store", metavar="PATH", default=None,
+                         help="persistent plan store (sqlite file or JSONL "
+                              "directory); warm-started at boot, flushed at "
+                              "drain")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="admission queue bound (backpressure)")
+    p_serve.add_argument("--concurrency", type=int, default=2,
+                         help="concurrent planning threads")
+    p_serve.add_argument("--batch-size", type=int, default=8,
+                         help="micro-batch drained per consumer cycle")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         help="per-client requests/second (0 = unlimited)")
+    p_serve.add_argument("--burst", type=int, default=8,
+                         help="per-client burst allowance")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-request deadline in seconds")
+    p_serve.add_argument("--parallel", action="store_true",
+                         help="let heavy instances fan components into the "
+                              "process pool (plan parallel='auto')")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process-pool width for --parallel")
+    p_serve.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write this server's repro.obs JSONL trace "
+                              "(see `stats`; multiple server traces merge)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_gantt = sub.add_parser("gantt", help="render a schedule Gantt chart")
     p_gantt.add_argument("instance", help="JSON instance (see `generate`)")
@@ -632,7 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize a repro.obs trace: per-stage/solver timings, "
              "per-round execution, counters",
     )
-    p_stats.add_argument("trace", help="JSONL trace from --trace-out")
+    p_stats.add_argument("trace", nargs="+",
+                         help="JSONL trace(s) from --trace-out; several "
+                              "files merge into one aggregate report")
     p_stats.add_argument("--validate", action="store_true",
                          help="check every record against the trace schema "
                               "before summarizing")

@@ -60,6 +60,29 @@ PLAN_COMPONENTS_SOLVED = "plan_components_solved"
 PLAN_COMPONENTS_CACHED = "plan_components_cached"
 
 # ----------------------------------------------------------------------
+# planning service counters/gauges/histograms (repro.serve)
+# ----------------------------------------------------------------------
+
+#: Requests that entered the admission queue.
+SERVE_REQUESTS_ADMITTED = "serve_requests_admitted"
+#: Requests refused at admission (overloaded / rate-limited / draining).
+SERVE_REQUESTS_REJECTED = "serve_requests_rejected"
+#: Requests answered by attaching to an in-flight duplicate solve.
+SERVE_REQUESTS_COALESCED = "serve_requests_coalesced"
+#: Admitted requests whose solve completed successfully.
+SERVE_REQUESTS_COMPLETED = "serve_requests_completed"
+#: Admitted requests whose solve failed or missed its deadline.
+SERVE_REQUESTS_FAILED = "serve_requests_failed"
+#: Plan-cache misses served by the persistent plan store.
+STORE_HITS = "plan_store_hits"
+#: Plan-cache misses the store could not serve either.
+STORE_MISSES = "plan_store_misses"
+#: Gauge: admission queue depth after the latest enqueue/drain.
+SERVE_QUEUE_DEPTH = "serve_queue_depth"
+#: Histogram: admission-to-completion seconds per request.
+SERVE_LATENCY = "serve_request_seconds"
+
+# ----------------------------------------------------------------------
 # span names
 # ----------------------------------------------------------------------
 
@@ -87,6 +110,9 @@ SPAN_CLUSTER_EXECUTE = "cluster.execute"
 
 #: One span per engine round (attrs: round, transfers, duration).
 SPAN_CLUSTER_ROUND = "cluster.round"
+
+#: One span per served request solve (attrs: fingerprint, method).
+SPAN_SERVE_SOLVE = "serve.solve"
 
 
 def stage_span(stage: str) -> str:

@@ -1,0 +1,174 @@
+"""A small synchronous client for the planning service.
+
+Stdlib-only (``http.client``), one connection per call — the shape
+tests, the CI smoke job and the closed-loop benchmark need: many
+independent clients hammering one server from plain threads, no
+event loop required on the client side.
+
+Usage::
+
+    client = PlanClient("127.0.0.1", 8423)
+    outcome = client.plan(instance, method="auto", seed=0)
+    schedule = outcome.schedule(instance)   # a validated MigrationSchedule
+    outcome.plan_bytes                      # canonical bytes, comparable
+                                            # to a direct repro.plan(...)
+
+Typed failures surface as :class:`PlanServiceError` carrying the
+server's stable error ``code`` (``overloaded``, ``rate-limited``,
+``draining``, ``deadline`` …), so callers can branch on backpressure
+without parsing prose.
+"""
+
+from __future__ import annotations
+
+import http.client
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_json,
+    parse_response,
+    plan_request_payload,
+    rehydrate_schedule,
+    validate_plan_response,
+)
+
+
+class PlanServiceError(Exception):
+    """The service answered with a typed error payload.
+
+    Attributes:
+        code: the stable wire code (see ``protocol.ERROR_CODES``).
+        http_status: the HTTP status the server used.
+    """
+
+    def __init__(self, code: str, message: str, http_status: int) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.http_status = http_status
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """One successful plan/certify response, decoded."""
+
+    fingerprint: str
+    method: str
+    seed: int
+    num_rounds: int
+    coalesced: bool
+    payload: Dict[str, Any]
+    lower_bound: Optional[int] = None
+    certified_optimal: Optional[bool] = None
+
+    @property
+    def plan_payload(self) -> Dict[str, Any]:
+        """The canonical pair-token schedule payload."""
+        plan_field = self.payload["plan"]
+        assert isinstance(plan_field, dict)
+        return plan_field
+
+    @property
+    def plan_bytes(self) -> bytes:
+        """Canonical bytes of the plan — the determinism comparand."""
+        return canonical_json(self.plan_payload)
+
+    def schedule(self, instance: MigrationInstance) -> MigrationSchedule:
+        """Rehydrate (and validate) the schedule against ``instance``."""
+        return rehydrate_schedule(instance, self.plan_payload)
+
+
+class PlanClient:
+    """Synchronous JSON-over-HTTP client; safe to use from threads
+    (each call opens its own connection)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        client_id: str = "",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            if self.client_id:
+                headers["X-Repro-Client"] = self.client_id
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _call(self, path: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        status, raw = self._request("POST", path, body=canonical_json(payload))
+        response = parse_response(raw)
+        if response.get("kind") == "error":
+            raise PlanServiceError(
+                str(response.get("code", "internal")),
+                str(response.get("message", "")),
+                status,
+            )
+        problems = validate_plan_response(response)
+        if problems:
+            raise ProtocolError(
+                "bad-request", f"malformed response: {'; '.join(problems)}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        instance: MigrationInstance,
+        method: str = "auto",
+        seed: int = 0,
+        certify: bool = False,
+        timeout: Optional[float] = None,
+    ) -> PlanOutcome:
+        """Plan ``instance`` remotely; raises :class:`PlanServiceError`
+        on typed rejection (overload, rate limit, drain, deadline)."""
+        payload = plan_request_payload(
+            instance, method=method, seed=seed, certify=certify, timeout=timeout
+        )
+        path = "/v1/certify" if certify else "/v1/plan"
+        response = self._call(path, payload)
+        return PlanOutcome(
+            fingerprint=str(response["fingerprint"]),
+            method=str(response["method"]),
+            seed=int(response["seed"]),
+            num_rounds=int(response["num_rounds"]),
+            coalesced=bool(response["coalesced"]),
+            payload=response,
+            lower_bound=response.get("lower_bound"),
+            certified_optimal=response.get("certified_optimal"),
+        )
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload (``status`` is ``ok``/``draining``)."""
+        _status, raw = self._request("GET", "/healthz")
+        return parse_response(raw)
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        _status, raw = self._request("GET", "/metrics")
+        return raw.decode("utf-8")

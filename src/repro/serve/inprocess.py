@@ -1,0 +1,108 @@
+"""Run a planning server inside the current process.
+
+Tests, the example swarm and the closed-loop benchmark all need the
+same thing: a real server on a real socket, without owning the
+process's main thread or signal handlers.  :func:`start_in_process`
+boots a :class:`~repro.serve.server.PlanningServer` on a private
+event loop in a daemon thread and returns a handle that exposes the
+bound port, builds clients, and triggers the same drain path SIGTERM
+would::
+
+    with start_in_process(ServerConfig(...)) as handle:
+        outcome = handle.client().plan(instance)
+    # exiting the block drains: in-flight solves finish, store flushes
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import replace
+from typing import Optional
+
+from repro.serve.client import PlanClient
+from repro.serve.server import PlanningServer, ServerConfig
+
+
+class InProcessServer:
+    """Handle to a server running on a background event loop."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        # The host process (a test runner, a benchmark) owns signals.
+        self.config = replace(config, install_signal_handlers=False)
+        self.server: Optional[PlanningServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "InProcessServer":
+        """Boot the loop thread and block until the socket is bound."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("in-process server did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"in-process server failed to start: {self._failure}"
+            )
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = PlanningServer(self.config)
+        try:
+            await self.server.start()
+        except BaseException as exc:  # surface bind/store errors to start()
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_forever()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    def client(self, client_id: str = "", timeout: float = 60.0) -> PlanClient:
+        """A fresh client bound to this server."""
+        return PlanClient(
+            self.host, self.port, timeout=timeout, client_id=client_id
+        )
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Trigger the graceful-drain path and join the loop thread."""
+        if self._loop is None or self.server is None or self._thread is None:
+            return
+        server = self.server
+        try:
+            asyncio.run_coroutine_threadsafe(server.drain(), self._loop)
+        except RuntimeError:  # loop already gone
+            pass
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "InProcessServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.drain()
+
+
+def start_in_process(config: Optional[ServerConfig] = None) -> InProcessServer:
+    """Boot a server in a background thread; returns a started handle."""
+    return InProcessServer(config if config is not None else ServerConfig()).start()

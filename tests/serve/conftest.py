@@ -1,0 +1,45 @@
+"""Shared helpers for the serving-layer tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.problem import MigrationInstance
+from repro.serve.protocol import PlanRequest, request_fingerprint
+from repro.workloads.io import instance_from_json, instance_to_json
+
+from tests.conftest import random_instance
+
+
+def wire_instance(
+    num_nodes: int = 6,
+    num_edges: int = 14,
+    capacity_choices: Sequence[int] = (1, 2, 3, 4),
+    seed: int = 0,
+) -> MigrationInstance:
+    """A random instance round-tripped through the wire format.
+
+    The JSON wire form stringifies node names, which is what a server
+    always sees; byte-identity comparisons against direct plans must
+    start from this form.
+    """
+    raw = random_instance(num_nodes, num_edges, capacity_choices, seed=seed)
+    return instance_from_json(instance_to_json(raw))
+
+
+def make_request(
+    instance: MigrationInstance,
+    method: str = "auto",
+    seed: int = 0,
+    certify: bool = False,
+    timeout: float | None = None,
+) -> PlanRequest:
+    """A validated PlanRequest without going through JSON."""
+    return PlanRequest(
+        instance=instance,
+        method=method,
+        seed=seed,
+        certify=certify,
+        timeout=timeout,
+        fingerprint=request_fingerprint(instance, method, seed, certify),
+    )

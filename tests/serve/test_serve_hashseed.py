@@ -1,0 +1,61 @@
+"""Cross-``PYTHONHASHSEED`` determinism of the serving layer.
+
+The serving determinism contract: a served plan is byte-identical to
+a direct :func:`repro.plan` call, and those bytes do not depend on the
+interpreter's hash seed.  Each driver below boots a real in-process
+server in a subprocess with a pinned ``PYTHONHASHSEED``, asserts
+served == direct *inside* the subprocess, and prints the canonical
+plan bytes; the harness then compares stdout across two hash seeds.
+"""
+
+import pytest
+
+from repro.checks.hashseed import compare_across_hash_seeds
+
+#: argv: num_nodes num_edges instance_seed method plan_seed
+SERVE_DRIVER = """
+import random
+import sys
+
+from repro.core.problem import MigrationInstance
+from repro.pipeline.planner import plan
+from repro.serve import ServerConfig, canonical_json, schedule_payload, start_in_process
+from repro.workloads.io import instance_from_json, instance_to_json
+
+num_nodes, num_edges, inst_seed, method, plan_seed = (
+    int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]), sys.argv[4],
+    int(sys.argv[5]),
+)
+rng = random.Random(inst_seed)
+nodes = [f"d{k}" for k in range(num_nodes)]
+moves = [tuple(rng.sample(nodes, 2)) for _ in range(num_edges)]
+caps = {v: rng.choice((1, 2, 3, 4)) for v in nodes}
+raw = MigrationInstance.from_moves(moves, caps)
+inst = instance_from_json(instance_to_json(raw))
+
+with start_in_process(ServerConfig()) as handle:
+    outcome = handle.client().plan(inst, method=method, seed=plan_seed)
+
+direct = plan(inst, method=method, seed=plan_seed)
+direct_bytes = canonical_json(schedule_payload(inst, direct.schedule))
+if outcome.plan_bytes != direct_bytes:
+    sys.stderr.write("served plan differs from direct plan\\n")
+    sys.exit(1)
+sys.stdout.write(outcome.plan_bytes.decode("utf-8"))
+"""
+
+
+class TestServedPlanHashSeedDeterminism:
+    @pytest.mark.parametrize("method", ["auto", "general"])
+    def test_served_bytes_identical_across_hash_seeds(self, method):
+        check = compare_across_hash_seeds(
+            f"serve/{method}", SERVE_DRIVER, ["8", "24", "11", method, "0"],
+        )
+        assert check.ok, check.detail
+
+    def test_nonzero_plan_seed(self):
+        check = compare_across_hash_seeds(
+            "serve/seeded", SERVE_DRIVER, ["7", "18", "3", "auto", "5"],
+            hash_seeds=(1, 31337),
+        )
+        assert check.ok, check.detail

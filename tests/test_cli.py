@@ -166,6 +166,115 @@ class TestFuzzCommand:
         assert "all cross-checks passed" in capsys.readouterr().out
 
 
+class TestPlanStoreFlag:
+    def test_second_plan_is_served_from_the_store(self, tmp_path, capsys):
+        workload = tmp_path / "w.json"
+        store = tmp_path / "plans.sqlite"
+        assert main(["generate", str(workload), "--disks", "8", "--items", "40"]) == 0
+        capsys.readouterr()
+
+        args = ["plan", str(workload), "--json", "--store", str(store)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "store=" in cold
+        assert "solved=" in cold
+        assert store.exists()
+
+        # A fresh process-worth of state: the store warms the cache, so
+        # every component is answered without a solver call.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "solved=0" in warm
+        assert "cached=" in warm
+
+    def test_store_round_trips_identical_schedules(self, tmp_path, capsys):
+        workload = tmp_path / "w.json"
+        store = tmp_path / "plans"
+        main(["generate", str(workload), "--disks", "6", "--items", "24"])
+        capsys.readouterr()
+        args = ["schedule", str(workload), "--json"]
+        assert main(args) == 0
+        direct = capsys.readouterr().out
+        assert main(["plan", str(workload), "--json", "--store", str(store)]) == 0
+        capsys.readouterr()
+        # The warmed replan must reproduce the direct schedule's shape.
+        assert main(args) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_run_accepts_store(self, tmp_path, capsys):
+        store = tmp_path / "plans.sqlite"
+        assert main([
+            "run", "decommission", "--seed", "1", "--store", str(store),
+        ]) == 0
+        assert "delivered=90" in capsys.readouterr().out
+        assert store.exists()
+
+
+class TestStatsMerge:
+    def _write_trace(self, tmp_path, name, seed):
+        workload = tmp_path / f"w{seed}.json"
+        trace = tmp_path / name
+        assert main([
+            "generate", str(workload), "--disks", "6", "--items", "30",
+            "--seed", str(seed),
+        ]) == 0
+        assert main([
+            "plan", str(workload), "--json", "--trace-out", str(trace),
+        ]) == 0
+        return trace
+
+    def test_single_trace_report(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path, "a.jsonl", 0)
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "trace OK" in out
+        assert "# merged" not in out
+
+    def test_merged_traces_sum_counters(self, tmp_path, capsys):
+        import re
+
+        traces = [
+            self._write_trace(tmp_path, f"{k}.jsonl", k) for k in range(2)
+        ]
+        capsys.readouterr()
+
+        def plans_count(out: str) -> int:
+            return int(re.search(r"plans=(\d+)", out).group(1))
+
+        counts = []
+        for trace in traces:
+            assert main(["stats", str(trace)]) == 0
+            counts.append(plans_count(capsys.readouterr().out))
+        assert main(["stats", *map(str, traces), "--validate"]) == 0
+        merged = capsys.readouterr().out
+        assert "# merged 2 traces" in merged
+        assert plans_count(merged) == sum(counts)
+
+    def test_invalid_trace_fails_validation(self, tmp_path, capsys):
+        good = self._write_trace(tmp_path, "good.jsonl", 0)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "martian"}\n')
+        capsys.readouterr()
+        assert main(["stats", str(good), str(bad), "--validate"]) == 1
+        captured = capsys.readouterr()
+        assert "invalid" in captured.err
+        assert "bad.jsonl" in captured.err
+
+
+class TestServeCommand:
+    def test_rejects_invalid_configuration(self, capsys):
+        assert main(["serve", "--queue-size", "0"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8423
+        assert args.queue_size == 64
+        assert args.concurrency == 2
+        assert args.store is None
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
