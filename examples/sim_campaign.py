@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Failure-and-recovery campaign: placement policies compared head-on.
+
+The paper motivates fast migration with failure recovery: the quicker
+re-replication completes, the shorter the window in which a second
+failure loses data.  This example runs the same seeded failure process
+(disk failures, scrubbing, latent errors, replacements) under two
+placement policies and compares the durability numbers the policies
+actually trade off — repair makespan, repair bandwidth, and
+under-replicated item-time.  Every repair is planned by
+``repro.plan(...)``, so recurring incident shapes hit the PlanCache.
+
+Run:  python examples/sim_campaign.py
+"""
+
+from repro.analysis.tables import Table
+from repro.sim import SimConfig, compare_policies
+
+POLICIES = ("random", "spread")
+
+
+def main() -> None:
+    config = SimConfig(
+        racks=3,
+        machines_per_rack=2,
+        disks_per_machine=4,
+        items=150,
+        scheme="rs6+3",
+        duration=2000.0,
+        seed=11,
+        failure_rate=0.002,
+        scrub_interval=100.0,
+        latent_error_rate=0.1,
+    )
+    print(
+        f"campaign: {config.items} items, scheme={config.scheme}, "
+        f"{config.duration:.0f}s simulated, seed={config.seed}"
+    )
+    print(f"fleet: {config.racks} racks x {config.machines_per_rack} "
+          f"machines x {config.disks_per_machine} disks\n")
+
+    reports = compare_policies(config, POLICIES)
+
+    table = Table(
+        "durability and repair cost by placement policy (same failures)",
+        [
+            "policy", "incidents", "loss events", "exposure (item-s)",
+            "repair bytes", "mean makespan", "max makespan", "cache hits",
+        ],
+    )
+    for policy in POLICIES:
+        summary = reports[policy].summary
+        table.add_row(
+            policy,
+            summary["incidents"],
+            summary["data_loss_events"],
+            round(summary["under_replicated_item_time"], 1),
+            summary["repair_bytes"],
+            round(summary["mean_repair_makespan"], 2),
+            round(summary["max_repair_makespan"], 2),
+            summary["plan_components_cached"],
+        )
+    print(table.render())
+
+    a, b = (reports[p].summary for p in POLICIES)
+    if a["under_replicated_item_time"] != b["under_replicated_item_time"]:
+        faster = min(
+            POLICIES,
+            key=lambda p: reports[p].summary["under_replicated_item_time"],
+        )
+        print(
+            f"\n{faster} placement kept items exposed for the least time — "
+            f"its repair rounds clear the per-disk transfer constraints "
+            f"(and the rack uplinks) fastest under this failure process."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -99,6 +99,24 @@ sys.stdout.write(json.dumps({"state": state, "layout": layout}, sort_keys=True))
 """
 
 
+#: Runs a short seeded failure/recovery campaign and prints the
+#: canonical report JSON — every layer the sim touches (event queue,
+#: placement, repair batching, the staged planner, rate models,
+#: metrics snapshot) must be hash-seed independent for the bytes to
+#: match.  argv: duration items seed
+SIM_DRIVER = """\
+import sys
+from repro.sim import SimConfig, run_campaign
+
+duration, items, seed = float(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+config = SimConfig(
+    duration=duration, items=items, seed=seed,
+    failure_rate=0.002, scrub_interval=50.0, latent_error_rate=0.2,
+)
+sys.stdout.write(run_campaign(config).canonical_json())
+"""
+
+
 @dataclass(frozen=True)
 class DeterminismCheck:
     """One driver run compared across hash seeds."""
@@ -183,6 +201,7 @@ DEFAULT_PLAN_CASES: Tuple[Tuple[str, int, int, int, str], ...] = (
 def check_determinism(
     plan_cases: Optional[Sequence[Tuple[str, int, int, int, str]]] = None,
     include_executor: bool = True,
+    include_sim: bool = True,
     hash_seeds: Tuple[int, int] = (0, 1),
 ) -> DeterminismReport:
     """Run the full cross-hash-seed battery.
@@ -210,6 +229,12 @@ def check_determinism(
         checks.append(
             compare_across_hash_seeds(
                 "runtime/executor", EXECUTOR_DRIVER, ["1", "7"], hash_seeds
+            )
+        )
+    if include_sim:
+        checks.append(
+            compare_across_hash_seeds(
+                "sim/cross-hashseed", SIM_DRIVER, ["300", "40", "5"], hash_seeds
             )
         )
     return DeterminismReport(checks=tuple(checks))

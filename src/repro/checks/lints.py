@@ -92,7 +92,7 @@ class LintConfig:
     """What to lint and where the determinism contract applies."""
 
     deterministic_packages: Tuple[str, ...] = (
-        "core", "graphs", "runtime", "pipeline", "obs", "serve",
+        "core", "graphs", "runtime", "pipeline", "obs", "serve", "sim",
     )
     select: Optional[Set[str]] = None  # None = all rules
 

@@ -54,6 +54,7 @@ def run_type_gate(targets: Tuple[str, ...] = ()) -> TypeGateReport:
         str(src / "graphs"),
         str(src / "pipeline"),
         str(src / "obs"),
+        str(src / "sim"),
     ]
     if root is not None:
         args = ["--config-file", str(root / "pyproject.toml")] + args

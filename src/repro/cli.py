@@ -531,6 +531,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.sim import (
+        SimConfig,
+        compare_policies,
+        policy_table,
+        run_campaign,
+    )
+
+    tracer = _open_tracer(args.trace_out)
+    try:
+        config = SimConfig(
+            racks=args.racks,
+            machines_per_rack=args.machines,
+            disks_per_machine=args.disks,
+            transfer_limit=args.transfer_limit,
+            items=args.items,
+            scheme=args.scheme,
+            placement=args.placement,
+            duration=args.duration,
+            seed=args.seed,
+            failure_rate=args.failure_rate,
+            crashes=tuple(args.crash),
+            replacement_delay=args.replacement_delay,
+            scrub_interval=args.scrub_interval,
+            latent_error_rate=args.latent_rate,
+            method=args.method,
+            fabric=not args.no_fabric,
+        )
+    except ValueError as exc:
+        print(f"invalid sim configuration: {exc}", file=sys.stderr)
+        return 2
+
+    if args.compare:
+        from repro.sim import DEFAULT_POLICY_SPECS
+
+        reports = compare_policies(config, DEFAULT_POLICY_SPECS, tracer=tracer)
+        print(policy_table(reports).render())
+        report = reports[args.placement]
+    else:
+        report = run_campaign(config, tracer=tracer)
+        print(report.render())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.canonical_json())
+            handle.write("\n")
+        print(f"report written to {args.report}")
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.analysis.crossval import main as fuzz_main
 
@@ -592,7 +644,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             failed = True
 
     if args.determinism or run_all:
-        det_report = check_determinism(include_executor=not args.fast)
+        det_report = check_determinism(
+            include_executor=not args.fast, include_sim=not args.fast
+        )
         print("determinism (PYTHONHASHSEED 0 vs 1):")
         print(det_report.render())
         if not det_report.ok:
@@ -758,6 +812,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="check every record against the trace schema "
                               "before summarizing")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_sim = sub.add_parser(
+        "sim",
+        help="deterministic failure-and-recovery campaign: seeded "
+             "failures, planner-driven repair, durability report (repro.sim)",
+    )
+    p_sim.add_argument("--scheme", default="rep3",
+                       help="redundancy spec: rep<r>, rs<k>+<m> or "
+                            "lrc<k>+<l>+<g> (default rep3)")
+    p_sim.add_argument("--placement", default="spread",
+                       choices=("random", "spread", "copyset"))
+    p_sim.add_argument("--compare", action="store_true",
+                       help="run all placement policies under the same "
+                            "seeded failures and print the comparison table")
+    p_sim.add_argument("--duration", type=float, default=1000.0,
+                       help="simulation horizon in sim-seconds")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--racks", type=int, default=3)
+    p_sim.add_argument("--machines", type=int, default=2,
+                       help="machines per rack")
+    p_sim.add_argument("--disks", type=int, default=4,
+                       help="disk slots per machine")
+    p_sim.add_argument("--transfer-limit", type=int, default=2,
+                       help="per-disk transfer constraint c_v")
+    p_sim.add_argument("--items", type=int, default=100)
+    p_sim.add_argument("--failure-rate", type=float, default=0.001,
+                       help="per-disk failures per sim-second (0 disables)")
+    p_sim.add_argument("--crash", type=_parse_crash, action="append",
+                       default=[], metavar="DISK:TIME",
+                       help="scripted crash, same syntax as `run` (repeatable)")
+    p_sim.add_argument("--replacement-delay", type=float, default=50.0)
+    p_sim.add_argument("--scrub-interval", type=float, default=200.0,
+                       help="per-disk scrub period (0 disables scrubbing)")
+    p_sim.add_argument("--latent-rate", type=float, default=0.05,
+                       help="probability a scrub pass loses one fragment")
+    p_sim.add_argument("--method", choices=METHODS, default="auto",
+                       help="planner method for repair scheduling")
+    p_sim.add_argument("--no-fabric", action="store_true",
+                       help="disks only: skip the rack-uplink rate model")
+    p_sim.add_argument("--report", metavar="PATH", default=None,
+                       help="write the canonical JSON report (byte-stable "
+                            "for a given configuration)")
+    p_sim.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a repro.obs JSONL trace (spans per "
+                            "incident, plan-cache counters; see `stats`)")
+    p_sim.set_defaults(func=_cmd_sim)
 
     p_fuzz = sub.add_parser("fuzz", help="cross-validate schedulers on random instances")
     p_fuzz.add_argument("--trials", type=int, default=100)

@@ -83,6 +83,42 @@ SERVE_QUEUE_DEPTH = "serve_queue_depth"
 SERVE_LATENCY = "serve_request_seconds"
 
 # ----------------------------------------------------------------------
+# failure simulator counters/gauges/histograms (repro.sim)
+# ----------------------------------------------------------------------
+
+#: Events popped from the simulation queue.
+SIM_EVENTS = "sim_events"
+#: Whole-disk failures processed (random + scripted).
+SIM_DISK_FAILURES = "sim_disk_failures"
+#: Latent sector errors surfaced by scrubbing (single-fragment losses).
+SIM_LATENT_ERRORS = "sim_latent_errors"
+#: Replacement disks that arrived and joined the fleet.
+SIM_REPLACEMENTS = "sim_replacements"
+#: Items that dropped below ``required_fragments`` — durability failures.
+SIM_DATA_LOSS_EVENTS = "sim_data_loss_events"
+#: Repair incidents planned (one batched transfer graph each).
+SIM_INCIDENTS = "sim_incidents"
+#: Individual repair transfers (transfer-graph edges) scheduled.
+SIM_REPAIR_TRANSFERS = "sim_repair_transfers"
+#: Fragments successfully rebuilt and committed to the layout.
+SIM_FRAGMENTS_REPAIRED = "sim_fragments_repaired"
+#: In-flight rebuilds discarded (target died / item already lost).
+SIM_FRAGMENTS_ABANDONED = "sim_fragments_abandoned"
+#: Repair demands no alive disk could accept (retried later).
+SIM_UNPLACEABLE_DEMANDS = "sim_unplaceable_demands"
+#: Planner components solved / served from the plan cache while
+#: planning repairs (sums of the per-:func:`repro.plan` attribution).
+SIM_PLAN_COMPONENTS_SOLVED = "sim_plan_components_solved"
+SIM_PLAN_COMPONENTS_CACHED = "sim_plan_components_cached"
+#: Gauge: accumulated under-replicated fragment-time (sim seconds).
+SIM_UNDER_REPLICATED_TIME = "sim_under_replicated_item_time"
+#: Gauge: total bytes moved over the network by repairs.
+SIM_REPAIR_BYTES = "sim_repair_bytes"
+#: Histogram: realized repair makespan per incident (sim seconds,
+#: including the modeled planning latency).
+SIM_REPAIR_MAKESPAN = "sim_repair_makespan_seconds"
+
+# ----------------------------------------------------------------------
 # span names
 # ----------------------------------------------------------------------
 
@@ -113,6 +149,12 @@ SPAN_CLUSTER_ROUND = "cluster.round"
 
 #: One span per served request solve (attrs: fingerprint, method).
 SPAN_SERVE_SOLVE = "serve.solve"
+
+#: Root span of one simulated campaign (attrs: seed, scheme, placement).
+SPAN_SIM_RUN = "sim.run"
+
+#: One span per repair incident (attrs: incident, demands, transfers).
+SPAN_SIM_INCIDENT = "sim.incident"
 
 
 def stage_span(stage: str) -> str:

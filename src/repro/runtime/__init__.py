@@ -55,7 +55,13 @@ from repro.runtime.executor import (
     MigrationExecutor,
     RunReport,
 )
-from repro.runtime.faults import DiskCrash, FaultInjector, FaultPlan, NetworkPartition
+from repro.runtime.faults import (
+    DiskCrash,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    NetworkPartition,
+)
 from repro.runtime.policy import EscalationAction, RetryPolicy
 from repro.runtime.telemetry import JsonlTraceWriter, RuntimeTelemetry, read_trace
 
@@ -63,6 +69,7 @@ __all__ = [
     "MigrationExecutor",
     "RunReport",
     "FaultPlan",
+    "FaultPlanError",
     "FaultInjector",
     "DiskCrash",
     "NetworkPartition",

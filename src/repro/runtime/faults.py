@@ -29,12 +29,29 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 from repro.cluster.disk import DiskId
 
 
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad shape or impossible values).
+
+    Raised by the dataclass validators and by :meth:`FaultPlan.from_json`,
+    so callers deserializing untrusted checkpoints can catch one typed
+    error instead of a grab-bag of ``TypeError``/``ValueError``/
+    ``KeyError`` from deep inside construction.
+    """
+
+
 @dataclass(frozen=True)
 class DiskCrash:
     """Disk ``disk_id`` fails permanently at simulated time ``at_time``."""
 
     disk_id: DiskId
     at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0.0:
+            raise FaultPlanError(
+                f"crash time must be >= 0, got {self.at_time} "
+                f"for disk {self.disk_id!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -44,6 +61,22 @@ class NetworkPartition:
     start: float
     end: float
     group: Tuple[DiskId, ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise FaultPlanError(
+                f"partition start must be >= 0, got {self.start}"
+            )
+        if self.end <= self.start:
+            raise FaultPlanError(
+                f"partition window is empty: [{self.start}, {self.end})"
+            )
+        if len(self.group) == 0:
+            raise FaultPlanError("partition group must name at least one disk")
+        if len(set(self.group)) != len(self.group):
+            raise FaultPlanError(
+                f"partition group has duplicate disks: {self.group}"
+            )
 
     def severs(self, u: DiskId, v: DiskId, now: float) -> bool:
         """Does this partition block a ``u -> v`` transfer at ``now``?"""
@@ -63,12 +96,20 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transfer_failure_rate < 1.0:
-            raise ValueError(
+            raise FaultPlanError(
                 f"transfer_failure_rate must be in [0, 1), "
                 f"got {self.transfer_failure_rate}"
             )
         self.crashes = tuple(self.crashes)
         self.partitions = tuple(self.partitions)
+        seen: Set[DiskId] = set()
+        for crash in self.crashes:
+            if crash.disk_id in seen:
+                raise FaultPlanError(
+                    f"duplicate crash target {crash.disk_id!r}: a disk "
+                    f"fails permanently, it cannot crash twice"
+                )
+            seen.add(crash.disk_id)
 
     # ------------------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
@@ -82,15 +123,68 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Reconstruct a plan, raising :class:`FaultPlanError` on bad input.
+
+        Every shape problem (wrong arity, wrong type) and every value
+        problem (negative time, duplicate crash target, empty partition
+        window or group) surfaces as ``FaultPlanError`` with a message
+        naming the offending entry.
+        """
+        rate = data.get("transfer_failure_rate", 0.0)
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise FaultPlanError(
+                f"transfer_failure_rate must be a number, got {rate!r}"
+            )
+
+        crashes = []
+        for i, entry in enumerate(data.get("crashes", [])):
+            try:
+                disk_id, at_time = entry
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(
+                    f"crashes[{i}] must be a [disk_id, at_time] pair, "
+                    f"got {entry!r}"
+                ) from exc
+            if not isinstance(disk_id, str):
+                raise FaultPlanError(
+                    f"crashes[{i}] disk id must be a string, got {disk_id!r}"
+                )
+            if not isinstance(at_time, (int, float)) or isinstance(at_time, bool):
+                raise FaultPlanError(
+                    f"crashes[{i}] time must be a number, got {at_time!r}"
+                )
+            crashes.append(DiskCrash(disk_id=disk_id, at_time=float(at_time)))
+
+        partitions = []
+        for i, entry in enumerate(data.get("partitions", [])):
+            try:
+                start, end, group = entry
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(
+                    f"partitions[{i}] must be a [start, end, group] "
+                    f"triple, got {entry!r}"
+                ) from exc
+            if isinstance(group, str) or not isinstance(group, (list, tuple)):
+                raise FaultPlanError(
+                    f"partitions[{i}] group must be a list of disk ids, "
+                    f"got {group!r}"
+                )
+            for num in (start, end):
+                if not isinstance(num, (int, float)) or isinstance(num, bool):
+                    raise FaultPlanError(
+                        f"partitions[{i}] bounds must be numbers, "
+                        f"got {entry!r}"
+                    )
+            partitions.append(
+                NetworkPartition(
+                    start=float(start), end=float(end), group=tuple(group)
+                )
+            )
+
         return cls(
-            transfer_failure_rate=data.get("transfer_failure_rate", 0.0),
-            crashes=tuple(
-                DiskCrash(disk_id=d, at_time=t) for d, t in data.get("crashes", [])
-            ),
-            partitions=tuple(
-                NetworkPartition(start=s, end=e, group=tuple(g))
-                for s, e, g in data.get("partitions", [])
-            ),
+            transfer_failure_rate=rate,
+            crashes=tuple(crashes),
+            partitions=tuple(partitions),
         )
 
 

@@ -1,0 +1,119 @@
+"""repro.sim — deterministic failure-and-recovery cluster simulator.
+
+The first closed-loop workload for the staged planner: a discrete-event
+simulation where disk failures, latent scrub errors and replacements
+continuously generate repair transfer graphs that are planned through
+:func:`repro.plan` (with its cache warm across structurally-recurring
+incidents) and executed on the simulated clock with
+:mod:`repro.cluster.network` rate models.  Durability — data-loss
+events, under-replicated item-time, repair bandwidth, per-incident
+makespan — is the output metric, and planner latency and schedule
+quality feed directly into it.
+
+Quickstart::
+
+    from repro.sim import SimConfig, run_campaign
+
+    report = run_campaign(SimConfig(seed=7, scheme="rs6+3", placement="spread"))
+    print(report.render())
+    print(report.summary["data_loss_events"])
+
+Module map:
+
+* :mod:`repro.sim.topology` — rack/machine/disk-slot grid, replacement
+  disk identities, fabric export.
+* :mod:`repro.sim.redundancy` — replication / Reed–Solomon / LRC as
+  placement and repair-cost models.
+* :mod:`repro.sim.placement` — random / spread / copyset placement
+  policies over a :class:`FleetView`.
+* :mod:`repro.sim.events` — event types and the deterministic queue.
+* :mod:`repro.sim.repair` — batching repair demands into plannable
+  :class:`~repro.core.problem.MigrationInstance`\\ s.
+* :mod:`repro.sim.engine` — the event loop, fleet/data state and
+  durability accounting.
+* :mod:`repro.sim.report` — canonical-JSON reports and policy
+  comparison tables.
+"""
+
+from repro.sim.engine import Incident, SimConfig, SimEngine, derive_seed
+from repro.sim.events import (
+    DiskFailed,
+    EventQueue,
+    FragmentRestored,
+    RepairFinished,
+    ReplacementArrived,
+    ScrubTick,
+    SimEvent,
+)
+from repro.sim.placement import (
+    DEFAULT_POLICY_SPECS,
+    CopysetPlacement,
+    FleetView,
+    PlacementError,
+    PlacementPolicy,
+    RandomPlacement,
+    SpreadPlacement,
+    build_policy,
+)
+from repro.sim.redundancy import (
+    DEFAULT_SCHEME_SPECS,
+    LocalReconstruction,
+    RedundancyScheme,
+    ReedSolomon,
+    Replication,
+    parse_scheme,
+)
+from repro.sim.repair import (
+    RepairDemand,
+    RepairEdge,
+    RepairPlanSpec,
+    build_repair_instance,
+)
+from repro.sim.report import (
+    SimReport,
+    build_report,
+    compare_policies,
+    policy_table,
+    run_campaign,
+)
+from repro.sim.topology import SimTopology, replacement_id, slot_of
+
+__all__ = [
+    "SimConfig",
+    "SimEngine",
+    "SimReport",
+    "SimTopology",
+    "Incident",
+    "EventQueue",
+    "SimEvent",
+    "DiskFailed",
+    "ReplacementArrived",
+    "ScrubTick",
+    "FragmentRestored",
+    "RepairFinished",
+    "RedundancyScheme",
+    "Replication",
+    "ReedSolomon",
+    "LocalReconstruction",
+    "parse_scheme",
+    "DEFAULT_SCHEME_SPECS",
+    "FleetView",
+    "PlacementPolicy",
+    "PlacementError",
+    "RandomPlacement",
+    "SpreadPlacement",
+    "CopysetPlacement",
+    "build_policy",
+    "DEFAULT_POLICY_SPECS",
+    "RepairDemand",
+    "RepairEdge",
+    "RepairPlanSpec",
+    "build_repair_instance",
+    "build_report",
+    "run_campaign",
+    "compare_policies",
+    "policy_table",
+    "derive_seed",
+    "replacement_id",
+    "slot_of",
+]

@@ -1,0 +1,97 @@
+"""Discrete-event machinery: event types and the deterministic queue.
+
+Every state change in the simulator is an event popped from one
+:class:`EventQueue`.  Determinism rests on two properties:
+
+* the queue imposes a *total* order — ties in simulated time break by
+  insertion sequence number, and insertion order is itself
+  deterministic because handlers run in queue order;
+* every random draw happens inside a handler, from a seeded
+  generator, so the sequence of draws is a pure function of the seed.
+
+Event dataclasses are plain facts ("disk r0m1d2 failed"); all
+behaviour lives in the engine's handlers.  The scripted-failure shape
+is shared with :class:`repro.runtime.faults.DiskCrash` so fault plans
+written for the runtime executor inject unchanged into the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class DiskFailed:
+    """Permanent whole-disk failure; every fragment on it is lost."""
+
+    disk_id: str
+
+
+@dataclass(frozen=True)
+class ReplacementArrived:
+    """A fresh, empty disk takes over the failed disk's slot."""
+
+    slot: str
+    disk_id: str
+
+
+@dataclass(frozen=True)
+class ScrubTick:
+    """Periodic background scan of one disk for latent errors."""
+
+    disk_id: str
+
+
+@dataclass(frozen=True)
+class FragmentRestored:
+    """One repair transfer group finished rebuilding a fragment."""
+
+    incident: int
+    item_id: str
+    frag_index: int
+
+
+@dataclass(frozen=True)
+class RepairFinished:
+    """The last round of an incident's repair schedule completed."""
+
+    incident: int
+
+
+SimEvent = Union[
+    DiskFailed, ReplacementArrived, ScrubTick, FragmentRestored, RepairFinished
+]
+
+
+class EventQueue:
+    """A time-ordered heap with a deterministic total order.
+
+    Entries are ``(time, seq, event)``; ``seq`` increments per push, so
+    two events at the same simulated time pop in push order and the
+    heap never compares event objects.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, SimEvent]] = []
+        self._seq = 0
+
+    def push(self, time: float, event: SimEvent) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, SimEvent]:
+        time, _seq, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

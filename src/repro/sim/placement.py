@@ -1,0 +1,270 @@
+"""Pluggable fragment-placement policies.
+
+Where redundancy fragments land determines both load spread and the
+*correlation* of failures — the quantity the policies trade off
+differently (CR-SIM's ``dataDistribute/`` family is the reference
+shape):
+
+* :class:`RandomPlacement` — uniform over alive disks.  Maximum
+  scatter: almost every disk pair shares some item, so *any*
+  simultaneous double failure risks some item, but per-failure repair
+  reads spread over the whole fleet.
+* :class:`SpreadPlacement` — PSS-style least-loaded placement with
+  rack anti-affinity: fragments of one item prefer distinct racks,
+  then distinct machines, then low fragment count.  The deterministic
+  production default.
+* :class:`CopysetPlacement` — copyset replication: fragments are
+  confined to a small precomputed family of slot groups, shrinking the
+  number of disk combinations whose simultaneous loss can destroy an
+  item (fewer, rarer loss events at the price of less balanced repair
+  load).
+
+A policy sees the fleet only through :class:`FleetView` (alive disks,
+per-disk fragment counts, rack/machine of a disk, slot occupancy), so
+policies stay pure and unit-testable without an engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.sim.topology import SimTopology, slot_of
+
+
+class FleetView(Protocol):
+    """What a placement policy may observe about the cluster."""
+
+    def alive_disks(self) -> List[str]:
+        """Alive disk ids in sorted order."""
+        ...
+
+    def fragment_count(self, disk_id: str) -> int:
+        """Fragments currently stored on a disk."""
+        ...
+
+    def rack(self, disk_id: str) -> str: ...
+
+    def machine(self, disk_id: str) -> str: ...
+
+    def disk_in_slot(self, slot: str) -> Optional[str]:
+        """The alive disk currently occupying a slot, if any."""
+        ...
+
+
+class PlacementError(ValueError):
+    """The policy cannot satisfy a placement request."""
+
+
+class PlacementPolicy:
+    """Base policy: anti-affinity helpers shared by the variants."""
+
+    name: str = "base"
+
+    def place_item(
+        self, item_id: str, n: int, view: FleetView, rng: random.Random
+    ) -> List[str]:
+        """Choose ``n`` distinct disks for a new item's fragments."""
+        raise NotImplementedError
+
+    def repair_target(
+        self,
+        item_id: str,
+        holders: Sequence[str],
+        view: FleetView,
+        rng: random.Random,
+    ) -> Optional[str]:
+        """A disk to receive one rebuilt fragment; ``None`` if no disk
+        outside ``holders`` is alive."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _anti_affine_order(
+        candidates: Sequence[str], used_racks: Set[str], used_machines: Set[str],
+        view: FleetView,
+    ) -> List[str]:
+        """Candidates sorted: new rack first, then new machine, then
+        least-loaded, then id (the total order makes ties deterministic)."""
+        return sorted(
+            candidates,
+            key=lambda d: (
+                view.rack(d) in used_racks,
+                view.machine(d) in used_machines,
+                view.fragment_count(d),
+                d,
+            ),
+        )
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random placement over alive disks."""
+
+    name = "random"
+
+    def place_item(
+        self, item_id: str, n: int, view: FleetView, rng: random.Random
+    ) -> List[str]:
+        alive = view.alive_disks()
+        if len(alive) < n:
+            raise PlacementError(
+                f"{n} fragments need {n} alive disks, have {len(alive)}"
+            )
+        return rng.sample(alive, n)
+
+    def repair_target(
+        self,
+        item_id: str,
+        holders: Sequence[str],
+        view: FleetView,
+        rng: random.Random,
+    ) -> Optional[str]:
+        exclude = set(holders)
+        candidates = [d for d in view.alive_disks() if d not in exclude]
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Least-loaded placement with rack/machine anti-affinity (PSS-style)."""
+
+    name = "spread"
+
+    def place_item(
+        self, item_id: str, n: int, view: FleetView, rng: random.Random
+    ) -> List[str]:
+        alive = view.alive_disks()
+        if len(alive) < n:
+            raise PlacementError(
+                f"{n} fragments need {n} alive disks, have {len(alive)}"
+            )
+        chosen: List[str] = []
+        used_racks: Set[str] = set()
+        used_machines: Set[str] = set()
+        remaining = list(alive)
+        for _ in range(n):
+            ordered = self._anti_affine_order(
+                remaining, used_racks, used_machines, view
+            )
+            pick = ordered[0]
+            chosen.append(pick)
+            used_racks.add(view.rack(pick))
+            used_machines.add(view.machine(pick))
+            remaining.remove(pick)
+        return chosen
+
+    def repair_target(
+        self,
+        item_id: str,
+        holders: Sequence[str],
+        view: FleetView,
+        rng: random.Random,
+    ) -> Optional[str]:
+        exclude = set(holders)
+        candidates = [d for d in view.alive_disks() if d not in exclude]
+        if not candidates:
+            return None
+        used_racks = {view.rack(h) for h in holders}
+        used_machines = {view.machine(h) for h in holders}
+        return self._anti_affine_order(candidates, used_racks, used_machines, view)[0]
+
+
+class CopysetPlacement(PlacementPolicy):
+    """Copyset replication over topology *slots*.
+
+    ``scatter_width`` seeded slot permutations are chopped into
+    consecutive groups of the redundancy width; an item's fragments
+    live on the disks currently occupying one group's slots.  The
+    family is fixed at construction (slots are permanent even as disks
+    fail and get replaced), so the set of fatal disk combinations
+    stays small for the whole campaign.
+    """
+
+    name = "copyset"
+
+    def __init__(self, topology: SimTopology, seed: int, scatter_width: int = 2):
+        if scatter_width < 1:
+            raise ValueError("scatter_width must be >= 1")
+        self._topology = topology
+        self._seed = seed
+        self._scatter_width = scatter_width
+        self._copysets: Dict[int, List[Tuple[str, ...]]] = {}
+
+    def _family(self, n: int) -> List[Tuple[str, ...]]:
+        """The copyset family for redundancy width ``n`` (built lazily)."""
+        if n not in self._copysets:
+            slots = self._topology.slots
+            if len(slots) < n:
+                raise PlacementError(
+                    f"copysets of width {n} need {n} slots, have {len(slots)}"
+                )
+            rng = random.Random(self._seed * 1_000_003 + n)
+            family: List[Tuple[str, ...]] = []
+            for _ in range(self._scatter_width):
+                perm = list(slots)
+                rng.shuffle(perm)
+                for i in range(0, len(perm) - n + 1, n):
+                    family.append(tuple(perm[i : i + n]))
+            self._copysets[n] = family
+        return self._copysets[n]
+
+    def _alive_in(self, copyset: Tuple[str, ...], view: FleetView) -> List[str]:
+        alive = []
+        for slot in copyset:
+            disk = view.disk_in_slot(slot)
+            if disk is not None:
+                alive.append(disk)
+        return alive
+
+    def place_item(
+        self, item_id: str, n: int, view: FleetView, rng: random.Random
+    ) -> List[str]:
+        family = self._family(n)
+        # Try a bounded number of seeded probes for a fully-alive
+        # copyset, then fall back to spread placement so a degraded
+        # fleet never wedges new placements.
+        for _ in range(len(family)):
+            copyset = family[rng.randrange(len(family))]
+            alive = self._alive_in(copyset, view)
+            if len(alive) == n:
+                return list(alive)
+        return SpreadPlacement().place_item(item_id, n, view, rng)
+
+    def repair_target(
+        self,
+        item_id: str,
+        holders: Sequence[str],
+        view: FleetView,
+        rng: random.Random,
+    ) -> Optional[str]:
+        # Prefer restoring into the holders' own copyset: any built
+        # copyset that contains every current holder's slot.
+        holder_slots = {slot_of(h) for h in holders}
+        exclude = set(holders)
+        for n in sorted(self._copysets):
+            for copyset in self._copysets[n]:
+                if holder_slots <= set(copyset):
+                    for slot in copyset:
+                        disk = view.disk_in_slot(slot)
+                        if disk is not None and disk not in exclude:
+                            return disk
+        return SpreadPlacement().repair_target(item_id, holders, view, rng)
+
+
+def build_policy(spec: str, topology: SimTopology, seed: int) -> PlacementPolicy:
+    """Instantiate a policy from its CLI spec (``random``/``spread``/``copyset``)."""
+    text = spec.strip().lower()
+    if text == "random":
+        return RandomPlacement()
+    if text == "spread":
+        return SpreadPlacement()
+    if text == "copyset":
+        return CopysetPlacement(topology, seed)
+    raise ValueError(
+        f"unknown placement policy {spec!r} (want random, spread or copyset)"
+    )
+
+
+#: Specs exercised by default campaigns and the CLI help text.
+DEFAULT_POLICY_SPECS: Tuple[str, ...] = ("random", "spread", "copyset")

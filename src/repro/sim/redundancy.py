@@ -1,0 +1,161 @@
+"""Pluggable redundancy schemes as placement / repair-cost models.
+
+The simulator never performs coding math; a scheme is exactly the
+four numbers durability simulation needs (CR-SIM models its ``drs/``
+schemes the same way):
+
+* ``total_fragments`` — fragments placed per item (on distinct disks);
+* ``required_fragments`` — minimum surviving fragments that still
+  reconstruct the item; fewer is a **data-loss event**;
+* ``repair_fanin(lost)`` — disks that must be *read* to rebuild one
+  lost fragment, given ``lost`` fragments of the item are currently
+  missing.  This is where the schemes differ operationally:
+  replication copies from 1 disk, Reed–Solomon reads ``k`` disks, and
+  LRC reads only its local group when a single fragment is lost;
+* ``fragment_size(item_size)`` — bytes actually stored (and moved
+  during repair) per fragment.
+
+Three schemes are provided:
+
+* :class:`Replication` — ``r`` full copies (reuses the semantics of
+  :mod:`repro.cluster.replication`).
+* :class:`ReedSolomon` — ``(k, m)`` striping: ``k`` data + ``m``
+  parity fragments, any ``k`` reconstruct.
+* :class:`LocalReconstruction` — LRC ``(k, l, g)``: ``k`` data
+  fragments in ``l`` local groups each with a local parity, plus ``g``
+  global parities.  A single lost fragment repairs from its local
+  group (``k/l`` reads) instead of ``k``.
+
+Specs parse from compact strings (``rep3``, ``rs6+3``, ``lrc6+2+2``)
+so the CLI and campaign runners can sweep schemes by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RedundancyScheme:
+    """Base class: a named placement / repair-cost model."""
+
+    name: str
+    total_fragments: int
+    required_fragments: int
+
+    def __post_init__(self) -> None:
+        if self.total_fragments < 1:
+            raise ValueError(f"{self.name}: total_fragments must be >= 1")
+        if not 1 <= self.required_fragments <= self.total_fragments:
+            raise ValueError(
+                f"{self.name}: required_fragments must be in "
+                f"[1, {self.total_fragments}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_tolerance(self) -> int:
+        """Concurrent fragment losses survived without data loss."""
+        return self.total_fragments - self.required_fragments
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored bytes per user byte (3 for rep3, 1.5 for RS(6,3))."""
+        return self.total_fragments / self.required_fragments
+
+    def fragment_size(self, item_size: float) -> float:
+        """Bytes stored per fragment of an ``item_size``-byte item."""
+        return item_size / self.required_fragments
+
+    def repair_fanin(self, lost: int) -> int:
+        """Disks read to rebuild one fragment when ``lost`` are missing.
+
+        Subclasses refine this; the base model reads
+        ``required_fragments`` survivors (the erasure-coding default).
+        """
+        return self.required_fragments
+
+
+@dataclass(frozen=True)
+class Replication(RedundancyScheme):
+    """``r`` full copies; repair copies from any surviving holder."""
+
+    def __init__(self, replicas: int = 3) -> None:
+        super().__init__(
+            name=f"rep{replicas}",
+            total_fragments=replicas,
+            required_fragments=1,
+        )
+
+    def repair_fanin(self, lost: int) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class ReedSolomon(RedundancyScheme):
+    """``(k, m)`` maximum-distance-separable striping."""
+
+    def __init__(self, k: int = 6, m: int = 3) -> None:
+        if k < 1 or m < 1:
+            raise ValueError("ReedSolomon needs k >= 1 and m >= 1")
+        super().__init__(
+            name=f"rs{k}+{m}", total_fragments=k + m, required_fragments=k
+        )
+
+
+@dataclass(frozen=True)
+class LocalReconstruction(RedundancyScheme):
+    """LRC ``(k, l, g)``: local groups cheapen the common single repair."""
+
+    def __init__(self, k: int = 6, local_groups: int = 2, global_parities: int = 2) -> None:
+        if k < 1 or local_groups < 1 or global_parities < 0:
+            raise ValueError(
+                "LocalReconstruction needs k >= 1, local_groups >= 1, "
+                "global_parities >= 0"
+            )
+        if k % local_groups != 0:
+            raise ValueError(
+                f"k={k} must divide evenly into {local_groups} local groups"
+            )
+        super().__init__(
+            name=f"lrc{k}+{local_groups}+{global_parities}",
+            total_fragments=k + local_groups + global_parities,
+            required_fragments=k,
+        )
+        # Frozen dataclass: route extra fields through object.__setattr__.
+        object.__setattr__(self, "_group_size", k // local_groups)
+
+    def repair_fanin(self, lost: int) -> int:
+        """A lone lost fragment repairs from its local group."""
+        group_size: int = getattr(self, "_group_size")
+        if lost <= 1:
+            return group_size
+        return self.required_fragments
+
+
+def parse_scheme(spec: str) -> RedundancyScheme:
+    """Parse ``rep3`` / ``rs6+3`` / ``lrc6+2+2`` into a scheme.
+
+    Raises:
+        ValueError: for an unrecognized or malformed spec.
+    """
+    text = spec.strip().lower()
+    try:
+        if text.startswith("rep"):
+            return Replication(int(text[3:]))
+        if text.startswith("rs"):
+            k, m = (int(p) for p in text[2:].split("+"))
+            return ReedSolomon(k, m)
+        if text.startswith("lrc"):
+            k, l, g = (int(p) for p in text[3:].split("+"))
+            return LocalReconstruction(k, l, g)
+    except ValueError as exc:
+        raise ValueError(f"malformed redundancy spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown redundancy spec {spec!r} (want rep<r>, rs<k>+<m> or lrc<k>+<l>+<g>)"
+    )
+
+
+#: Specs exercised by default campaigns and the CLI help text.
+DEFAULT_SCHEME_SPECS: Tuple[str, ...] = ("rep3", "rs6+3", "lrc6+2+2")

@@ -1,0 +1,157 @@
+"""Campaign reports: durability metrics as canonical JSON and tables.
+
+:func:`run_campaign` is the one-call entry point (build engine → run →
+report); :func:`compare_policies` runs the same seeded failure process
+under several placement policies so their durability numbers are
+directly comparable.  A report's :meth:`~SimReport.canonical_json` is
+the determinism artifact: ``json.dumps(..., sort_keys=True)`` of plain
+data produced by a seeded run, asserted byte-identical across repeated
+runs and ``PYTHONHASHSEED`` values by the CI sim-smoke step and the
+cross-hashseed harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import Table
+from repro.obs.trace import Tracer
+from repro.sim.engine import SimConfig, SimEngine
+
+#: Report wire-format version.
+REPORT_SCHEMA = "sim-report/v1"
+
+
+@dataclass
+class SimReport:
+    """One campaign's outcome, JSON-ready.
+
+    Attributes:
+        config: the :meth:`SimConfig.as_dict` echo.
+        metrics: the engine's typed metrics registry snapshot.
+        summary: headline durability numbers.
+        incidents: per-incident repair records.
+        loss_events: ``[time, item_id]`` pairs, in event order.
+    """
+
+    config: Dict[str, Any]
+    metrics: Dict[str, Any]
+    summary: Dict[str, Any]
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
+    loss_events: List[List[Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "config": self.config,
+            "summary": self.summary,
+            "metrics": self.metrics,
+            "incidents": self.incidents,
+            "loss_events": self.loss_events,
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization (sorted keys, fixed indent)."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        table = Table(
+            f"sim campaign · scheme={self.config['scheme']} "
+            f"placement={self.config['placement']} seed={self.config['seed']}",
+            ["metric", "value"],
+        )
+        for key in sorted(self.summary):
+            table.add_row(key, self.summary[key])
+        return table.render()
+
+
+def build_report(engine: SimEngine) -> SimReport:
+    """Assemble the report for a finished engine run."""
+    makespans = [i.makespan for i in engine.incidents]
+    summary: Dict[str, Any] = {
+        "data_loss_events": len(engine.loss_events),
+        "items_lost": engine.items_lost,
+        "under_replicated_item_time": engine.under_replicated_time,
+        "repair_bytes": engine.repair_bytes,
+        "incidents": len(engine.incidents),
+        "repair_transfers": sum(i.transfers for i in engine.incidents),
+        "repair_rounds": sum(i.rounds for i in engine.incidents),
+        "mean_repair_makespan": (
+            sum(makespans) / len(makespans) if makespans else 0.0
+        ),
+        "max_repair_makespan": max(makespans, default=0.0),
+        "plan_components_solved": sum(
+            i.components_solved for i in engine.incidents
+        ),
+        "plan_components_cached": sum(
+            i.components_cached for i in engine.incidents
+        ),
+        "degraded_fragments_at_end": engine.degraded_fragments,
+        "alive_disks_at_end": engine.alive_count,
+    }
+    return SimReport(
+        config=engine.config.as_dict(),
+        metrics=engine.metrics.snapshot(),
+        summary=summary,
+        incidents=[i.as_dict() for i in engine.incidents],
+        loss_events=[[t, item] for t, item in engine.loss_events],
+    )
+
+
+def run_campaign(
+    config: SimConfig, tracer: Optional[Tracer] = None
+) -> SimReport:
+    """Run one campaign to its horizon and report it."""
+    engine = SimEngine(config, tracer=tracer)
+    engine.run()
+    return build_report(engine)
+
+
+def compare_policies(
+    base: SimConfig,
+    policies: Sequence[str],
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, SimReport]:
+    """Run the same seeded campaign under each placement policy.
+
+    Everything except ``placement`` is held fixed (same seed → same
+    failure/scrub event process), so differences in loss counts,
+    exposure time and repair bandwidth are attributable to placement.
+    """
+    reports: Dict[str, SimReport] = {}
+    for spec in policies:
+        cfg = dataclasses.replace(base, placement=spec)
+        reports[spec] = run_campaign(cfg, tracer=tracer)
+    return reports
+
+
+def policy_table(reports: Dict[str, SimReport]) -> Table:
+    """A side-by-side durability table over :func:`compare_policies` output."""
+    table = Table(
+        "placement-policy comparison",
+        [
+            "policy",
+            "loss_events",
+            "under_repl_time",
+            "repair_bytes",
+            "incidents",
+            "mean_makespan",
+            "cache_hits",
+        ],
+    )
+    for spec in sorted(reports):
+        s = reports[spec].summary
+        table.add_row(
+            spec,
+            s["data_loss_events"],
+            s["under_replicated_item_time"],
+            s["repair_bytes"],
+            s["incidents"],
+            s["mean_repair_makespan"],
+            s["plan_components_cached"],
+        )
+    return table

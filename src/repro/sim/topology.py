@@ -1,0 +1,128 @@
+"""Rack / machine / disk cluster topology for the failure simulator.
+
+The scheduling model sees only disks and their transfer constraints;
+durability modelling additionally needs *where* a disk lives, because
+placement policies spread redundancy across failure domains and the
+fabric rate model charges cross-rack repair traffic to rack uplinks.
+
+:class:`SimTopology` describes a fixed grid of disk *slots*
+(``racks × machines_per_rack × disks_per_machine``).  A slot is a
+permanent location; the disk occupying it changes over time as disks
+fail and replacements arrive.  Replacement disk ids are derived from
+the slot id (``r0m1d2#1`` is the first replacement in slot ``r0m1d2``),
+so the topology can answer rack/machine questions about any disk that
+ever existed without being told about replacements explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cluster.disk import Disk
+from repro.cluster.network import FabricTopology
+
+
+def slot_of(disk_id: str) -> str:
+    """The permanent slot a disk occupies (strips the ``#n`` suffix)."""
+    return disk_id.split("#", 1)[0]
+
+
+def replacement_id(disk_id: str, generation: int) -> str:
+    """The id of the ``generation``-th replacement in a disk's slot."""
+    return f"{slot_of(disk_id)}#{generation}"
+
+
+@dataclass(frozen=True)
+class SimTopology:
+    """An immutable grid of disk slots grouped into machines and racks.
+
+    Attributes:
+        racks: number of racks.
+        machines_per_rack: machines in each rack.
+        disks_per_machine: disk slots on each machine.
+        rack_of_slot: slot id -> rack id (``"r0"`` ...).
+        machine_of_slot: slot id -> machine id (``"r0m1"`` ...).
+    """
+
+    racks: int
+    machines_per_rack: int
+    disks_per_machine: int
+    rack_of_slot: Dict[str, str] = field(default_factory=dict)
+    machine_of_slot: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def grid(
+        cls, racks: int, machines_per_rack: int, disks_per_machine: int
+    ) -> "SimTopology":
+        """Build the standard ``rXmYdZ`` slot grid."""
+        if racks < 1 or machines_per_rack < 1 or disks_per_machine < 1:
+            raise ValueError("topology dimensions must all be >= 1")
+        rack_of: Dict[str, str] = {}
+        machine_of: Dict[str, str] = {}
+        for r in range(racks):
+            for m in range(machines_per_rack):
+                for d in range(disks_per_machine):
+                    slot = f"r{r}m{m}d{d}"
+                    rack_of[slot] = f"r{r}"
+                    machine_of[slot] = f"r{r}m{m}"
+        return cls(
+            racks=racks,
+            machines_per_rack=machines_per_rack,
+            disks_per_machine=disks_per_machine,
+            rack_of_slot=rack_of,
+            machine_of_slot=machine_of,
+        )
+
+    @property
+    def num_slots(self) -> int:
+        return self.racks * self.machines_per_rack * self.disks_per_machine
+
+    @property
+    def slots(self) -> List[str]:
+        """All slot ids in deterministic grid order."""
+        return sorted(self.rack_of_slot)
+
+    def rack(self, disk_id: str) -> str:
+        """Rack of any disk ever placed in a slot (replacements included)."""
+        return self.rack_of_slot[slot_of(disk_id)]
+
+    def machine(self, disk_id: str) -> str:
+        return self.machine_of_slot[slot_of(disk_id)]
+
+    def build_disks(
+        self, transfer_limit: int = 2, bandwidth: float = 1.0
+    ) -> List[Disk]:
+        """One disk per slot, in slot order, all of the same hardware class."""
+        return [
+            Disk(disk_id=slot, transfer_limit=transfer_limit, bandwidth=bandwidth)
+            for slot in self.slots
+        ]
+
+    def fabric(
+        self, disk_ids: List[str], uplink_bandwidth: float = 4.0
+    ) -> FabricTopology:
+        """A :class:`FabricTopology` over the given disks for rate models."""
+        return FabricTopology(
+            rack_of={d: self.rack(d) for d in disk_ids},
+            uplink_bandwidth=uplink_bandwidth,
+        )
+
+
+def distinct_failure_domains(
+    topology: SimTopology, disk_ids: List[str], level: str = "rack"
+) -> int:
+    """Number of distinct racks (or machines) a disk set spans."""
+    if level == "rack":
+        return len({topology.rack(d) for d in disk_ids})
+    if level == "machine":
+        return len({topology.machine(d) for d in disk_ids})
+    raise ValueError(f"unknown failure-domain level {level!r}")
+
+
+def spread_score(topology: SimTopology, disk_ids: List[str]) -> Tuple[int, int]:
+    """(racks spanned, machines spanned) — higher is more failure-isolated."""
+    return (
+        distinct_failure_domains(topology, disk_ids, "rack"),
+        distinct_failure_domains(topology, disk_ids, "machine"),
+    )

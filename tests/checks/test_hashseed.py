@@ -11,6 +11,7 @@ from repro.checks.hashseed import (
     DeterminismError,
     EXECUTOR_DRIVER,
     PLAN_DRIVER,
+    SIM_DRIVER,
     check_determinism,
     compare_across_hash_seeds,
     run_driver,
@@ -43,10 +44,24 @@ class TestExecutorDeterminism:
         assert check.ok, check.detail
 
 
+class TestSimDeterminism:
+    def test_campaign_report_identical_across_hash_seeds(self):
+        # The whole closed loop — failure draws, placement, repair
+        # batching, the staged planner, rate models, the metrics
+        # snapshot — pinned at the report-byte level.
+        check = compare_across_hash_seeds(
+            "sim/cross-hashseed", SIM_DRIVER, ["300", "40", "5"],
+            hash_seeds=(1, 31337),
+        )
+        assert check.ok, check.detail
+
+
 class TestHarness:
     def test_battery_report_renders(self):
         report = check_determinism(
-            plan_cases=[("plan/tiny", 6, 12, 0, "auto")], include_executor=False
+            plan_cases=[("plan/tiny", 6, 12, 0, "auto")],
+            include_executor=False,
+            include_sim=False,
         )
         assert report.ok
         assert "plan/tiny: ok" in report.render()

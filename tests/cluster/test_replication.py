@@ -187,3 +187,103 @@ class TestValidator:
         layout = ReplicatedLayout({"x": ["d0", "d1"]})
         with pytest.raises(ScheduleValidationError, match="share racks"):
             validate_replication(layout, 2, topo, racks_available=2)
+
+
+class TestRecoveryInsufficientRacks:
+    def test_falls_back_to_holder_rack_when_racks_exhausted(self):
+        # Two racks, two-way replication: after d0 (rack0) dies, some
+        # items hold their surviving replica on every remaining rack's
+        # disks... shrink to the sharpest case: only rack1 survives.
+        disks = fleet(4)
+        topo = FabricTopology(
+            rack_of={"d0": "rack0", "d1": "rack0", "d2": "rack1", "d3": "rack1"},
+            uplink_bandwidth=1.0,
+        )
+        layout = ReplicatedLayout({"x": ["d0", "d2"], "y": ["d0", "d3"]})
+        survivors = [d for d in disks if d.disk_id in ("d2", "d3")]
+        plan = recovery_moves(layout, "d0", survivors, topology=topo)
+        # Rack-distinct targets are impossible (both survivors share
+        # rack1 with the holders); the constraint relaxes rather than
+        # failing, and replication is restored on distinct disks.
+        assert plan.num_copies == 2
+        assert layout.holders("x") == {"d2", "d3"}
+        assert layout.holders("y") == {"d2", "d3"}
+
+    def test_no_eligible_target_raises(self):
+        # The only surviving disk already holds the item: recovery has
+        # nowhere to put the new replica.
+        disks = fleet(2)
+        layout = ReplicatedLayout({"x": ["d0", "d1"]})
+        survivors = [d for d in disks if d.disk_id == "d1"]
+        with pytest.raises(InvalidInstanceError, match="no disk can take"):
+            recovery_moves(layout, "d0", survivors)
+
+
+class TestCascadingFailure:
+    def test_second_failure_before_repair_is_recoverable_at_r3(self):
+        # r=3: losing two disks before any repair still leaves one
+        # replica; back-to-back recovery plans restore full redundancy.
+        disks = fleet(6)
+        layout = place_replicated(catalog(12), disks, replicas=3)
+        survivors1 = [d for d in disks if d.disk_id != "d0"]
+        recovery_moves(layout, "d0", survivors1)
+        survivors2 = [d for d in survivors1 if d.disk_id != "d1"]
+        plan2 = recovery_moves(layout, "d1", survivors2, topology=None)
+        validate_replication(layout, 3)
+        for _eid, (_item, src, dst) in plan2.copy_of_edge.items():
+            assert src not in ("d0", "d1")
+            assert dst not in ("d0", "d1")
+
+    def test_double_failure_at_r2_loses_data(self):
+        # r=2: if both holders die before the repair lands, the item is
+        # gone and the planner reports it rather than papering over it.
+        layout = ReplicatedLayout({"x": ["d0", "d1"], "y": ["d1", "d2"]})
+        disks = fleet(4)
+        survivors1 = [d for d in disks if d.disk_id != "d0"]
+        # The first failure degrades "x" but we do NOT execute the
+        # recovery: drop the second disk straight away.
+        layout.drop_disk("d0")
+        survivors2 = [d for d in survivors1 if d.disk_id != "d1"]
+        with pytest.raises(InvalidInstanceError, match="unrecoverable"):
+            recovery_moves(layout, "d1", survivors2)
+
+    def test_balanced_variant_detects_cascading_loss_too(self):
+        layout = ReplicatedLayout({"x": ["d0", "d1"]})
+        layout.drop_disk("d0")
+        survivors = [Disk(disk_id="d2", transfer_limit=2)]
+        with pytest.raises(InvalidInstanceError, match="unrecoverable"):
+            recovery_moves_balanced(layout, "d1", survivors)
+
+
+class TestPlacementTies:
+    def test_seeded_ties_are_deterministic(self):
+        a = place_replicated(catalog(10), fleet(6), replicas=2, seed=5)
+        b = place_replicated(catalog(10), fleet(6), replicas=2, seed=5)
+        for item in a.items:
+            assert a.holders(item) == b.holders(item)
+
+    def test_different_seeds_vary_partners(self):
+        a = place_replicated(catalog(10), fleet(6), replicas=2, seed=1)
+        b = place_replicated(catalog(10), fleet(6), replicas=2, seed=2)
+        assert any(a.holders(item) != b.holders(item) for item in a.items)
+
+    def test_seeded_placement_still_valid_and_balanced(self):
+        layout = place_replicated(catalog(12), fleet(6), replicas=2, seed=9)
+        validate_replication(layout, 2)
+        loads = layout.load()
+        # 24 copies over 6 disks: the least-loaded heap keeps the
+        # spread tight regardless of the random tiebreak.
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_seeded_ties_spread_recovery_sources(self):
+        # The docstring's motivation: seeded ties diversify replica
+        # partners, so one disk's items name several recovery sources.
+        disks = fleet(8)
+        layout = place_replicated(catalog(32), disks, replicas=2, seed=3)
+        partners = {
+            h
+            for item in layout.items_on("d0")
+            for h in layout.holders(item)
+            if h != "d0"
+        }
+        assert len(partners) >= 3

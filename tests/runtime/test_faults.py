@@ -14,6 +14,7 @@ from repro.runtime import (
     DiskCrash,
     FaultInjector,
     FaultPlan,
+    FaultPlanError,
     MigrationExecutor,
     NetworkPartition,
 )
@@ -38,6 +39,93 @@ class TestFaultPlan:
 
     def test_from_json_defaults(self):
         assert FaultPlan.from_json({}) == FaultPlan()
+
+
+class TestFaultPlanValidation:
+    def test_negative_crash_time(self):
+        with pytest.raises(FaultPlanError, match="crash time"):
+            DiskCrash("d1", -1.0)
+
+    def test_duplicate_crash_targets(self):
+        with pytest.raises(FaultPlanError, match="duplicate crash target"):
+            FaultPlan(crashes=(DiskCrash("d1", 1.0), DiskCrash("d1", 2.0)))
+
+    def test_empty_partition_window(self):
+        with pytest.raises(FaultPlanError, match="window is empty"):
+            NetworkPartition(5.0, 5.0, ("d1",))
+        with pytest.raises(FaultPlanError, match="window is empty"):
+            NetworkPartition(5.0, 2.0, ("d1",))
+
+    def test_negative_partition_start(self):
+        with pytest.raises(FaultPlanError, match="start"):
+            NetworkPartition(-1.0, 2.0, ("d1",))
+
+    def test_empty_partition_group(self):
+        with pytest.raises(FaultPlanError, match="at least one disk"):
+            NetworkPartition(0.0, 2.0, ())
+
+    def test_duplicate_partition_group_members(self):
+        with pytest.raises(FaultPlanError, match="duplicate disks"):
+            NetworkPartition(0.0, 2.0, ("d1", "d1"))
+
+    def test_fault_plan_error_is_value_error(self):
+        # Callers that predate the typed error still catch it.
+        with pytest.raises(ValueError):
+            FaultPlan(transfer_failure_rate=2.0)
+        assert issubclass(FaultPlanError, ValueError)
+
+
+class TestFromJsonValidation:
+    def test_malformed_crash_entry(self):
+        with pytest.raises(FaultPlanError, match=r"crashes\[0\]"):
+            FaultPlan.from_json({"crashes": [["d1"]]})
+        with pytest.raises(FaultPlanError, match=r"crashes\[1\]"):
+            FaultPlan.from_json({"crashes": [["d1", 1.0], "oops"]})
+
+    def test_non_string_disk_id(self):
+        with pytest.raises(FaultPlanError, match="disk id"):
+            FaultPlan.from_json({"crashes": [[7, 1.0]]})
+
+    def test_non_numeric_crash_time(self):
+        with pytest.raises(FaultPlanError, match="time must be a number"):
+            FaultPlan.from_json({"crashes": [["d1", "soon"]]})
+        with pytest.raises(FaultPlanError, match="time must be a number"):
+            FaultPlan.from_json({"crashes": [["d1", True]]})
+
+    def test_negative_crash_time_from_json(self):
+        with pytest.raises(FaultPlanError, match="crash time"):
+            FaultPlan.from_json({"crashes": [["d1", -3.0]]})
+
+    def test_duplicate_crash_targets_from_json(self):
+        with pytest.raises(FaultPlanError, match="duplicate crash target"):
+            FaultPlan.from_json({"crashes": [["d1", 1.0], ["d1", 2.0]]})
+
+    def test_malformed_partition_entry(self):
+        with pytest.raises(FaultPlanError, match=r"partitions\[0\]"):
+            FaultPlan.from_json({"partitions": [[1.0, 2.0]]})
+
+    def test_partition_group_must_be_list(self):
+        with pytest.raises(FaultPlanError, match="list of disk ids"):
+            FaultPlan.from_json({"partitions": [[1.0, 2.0, "d1"]]})
+
+    def test_partition_bounds_must_be_numbers(self):
+        with pytest.raises(FaultPlanError, match="bounds must be numbers"):
+            FaultPlan.from_json({"partitions": [["a", 2.0, ["d1"]]]})
+
+    def test_bad_rate_type(self):
+        with pytest.raises(FaultPlanError, match="transfer_failure_rate"):
+            FaultPlan.from_json({"transfer_failure_rate": "high"})
+
+    def test_round_trip_preserves_validated_plan(self):
+        plan = FaultPlan(
+            transfer_failure_rate=0.25,
+            crashes=(DiskCrash("d1", 0.0), DiskCrash("d2", 7.5)),
+            partitions=(
+                NetworkPartition(0.0, 1.0, ("d1",)),
+                NetworkPartition(3.0, 9.0, ("d2", "d3")),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
 
 
 class TestFaultInjector:

@@ -49,7 +49,9 @@ faults_strategy = st.builds(
         st.builds(
             NetworkPartition,
             start=st.floats(0.0, 5.0, allow_nan=False),
-            end=st.floats(5.0, 12.0, allow_nan=False),
+            # Strictly after every possible start: the plan validator
+            # rejects empty [start, end) windows.
+            end=st.floats(6.0, 12.0, allow_nan=False),
             group=st.sets(st.sampled_from(DISK_IDS), min_size=1, max_size=2).map(
                 lambda s: tuple(sorted(s))
             ),

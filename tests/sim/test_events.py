@@ -1,0 +1,50 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.sim.events import DiskFailed, EventQueue, ScrubTick
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, DiskFailed("b"))
+        q.push(1.0, DiskFailed("a"))
+        q.push(3.0, DiskFailed("c"))
+        order = [q.pop() for _ in range(3)]
+        assert [t for t, _ in order] == [1.0, 3.0, 5.0]
+        assert [e.disk_id for _, e in order] == ["a", "c", "b"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        q.push(2.0, DiskFailed("first"))
+        q.push(2.0, ScrubTick("second"))
+        q.push(2.0, DiskFailed("third"))
+        events = [q.pop()[1] for _ in range(3)]
+        assert isinstance(events[0], DiskFailed) and events[0].disk_id == "first"
+        assert isinstance(events[1], ScrubTick)
+        assert isinstance(events[2], DiskFailed) and events[2].disk_id == "third"
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, DiskFailed("a"))
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        q.push(4.0, DiskFailed("a"))
+        q.push(2.0, DiskFailed("b"))
+        assert q.peek_time() == 2.0
+        assert len(q) == 2
+        assert bool(q)
+
+    def test_events_never_compared(self):
+        # Frozen event dataclasses are not orderable; the (time, seq)
+        # prefix must always disambiguate.
+        q = EventQueue()
+        for _ in range(10):
+            q.push(1.0, DiskFailed("x"))
+        while q:
+            q.pop()

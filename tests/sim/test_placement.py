@@ -1,0 +1,170 @@
+"""Tests for the placement policies against a fake fleet view."""
+
+import random
+
+import pytest
+
+from repro.sim.placement import (
+    CopysetPlacement,
+    PlacementError,
+    RandomPlacement,
+    SpreadPlacement,
+    build_policy,
+)
+from repro.sim.topology import SimTopology, slot_of
+
+
+class FakeFleet:
+    """A FleetView over explicit state, for policy unit tests."""
+
+    def __init__(self, topology, alive=None, loads=None):
+        self.topology = topology
+        self._alive = set(alive if alive is not None else topology.slots)
+        self._loads = dict(loads or {})
+
+    def alive_disks(self):
+        return sorted(self._alive)
+
+    def fragment_count(self, disk_id):
+        return self._loads.get(disk_id, 0)
+
+    def rack(self, disk_id):
+        return self.topology.rack(disk_id)
+
+    def machine(self, disk_id):
+        return self.topology.machine(disk_id)
+
+    def disk_in_slot(self, slot):
+        # Occupants are generation-0 disks named after their slot.
+        return slot if slot in self._alive else None
+
+
+@pytest.fixture
+def topology():
+    return SimTopology.grid(3, 2, 2)
+
+
+class TestRandomPlacement:
+    def test_places_distinct_disks(self, topology):
+        view = FakeFleet(topology)
+        chosen = RandomPlacement().place_item("i", 3, view, random.Random(1))
+        assert len(set(chosen)) == 3
+        assert all(d in set(view.alive_disks()) for d in chosen)
+
+    def test_deterministic_under_seed(self, topology):
+        view = FakeFleet(topology)
+        a = RandomPlacement().place_item("i", 3, view, random.Random(9))
+        b = RandomPlacement().place_item("i", 3, view, random.Random(9))
+        assert a == b
+
+    def test_insufficient_disks(self, topology):
+        view = FakeFleet(topology, alive=["r0m0d0"])
+        with pytest.raises(PlacementError):
+            RandomPlacement().place_item("i", 2, view, random.Random(0))
+
+    def test_repair_target_excludes_holders(self, topology):
+        view = FakeFleet(topology, alive=["r0m0d0", "r0m0d1"])
+        target = RandomPlacement().repair_target(
+            "i", ["r0m0d0"], view, random.Random(0)
+        )
+        assert target == "r0m0d1"
+
+    def test_repair_target_none_when_exhausted(self, topology):
+        view = FakeFleet(topology, alive=["r0m0d0"])
+        assert (
+            RandomPlacement().repair_target("i", ["r0m0d0"], view, random.Random(0))
+            is None
+        )
+
+
+class TestSpreadPlacement:
+    def test_prefers_distinct_racks(self, topology):
+        view = FakeFleet(topology)
+        chosen = SpreadPlacement().place_item("i", 3, view, random.Random(0))
+        racks = {topology.rack(d) for d in chosen}
+        assert len(racks) == 3
+
+    def test_prefers_least_loaded(self, topology):
+        loads = {d: 5 for d in topology.slots}
+        loads["r1m1d1"] = 0
+        view = FakeFleet(topology, loads=loads)
+        chosen = SpreadPlacement().place_item("i", 1, view, random.Random(0))
+        assert chosen == ["r1m1d1"]
+
+    def test_deterministic_without_rng(self, topology):
+        view = FakeFleet(topology)
+        a = SpreadPlacement().place_item("i", 4, view, random.Random(1))
+        b = SpreadPlacement().place_item("i", 4, view, random.Random(2))
+        assert a == b  # spread ignores the rng entirely
+
+    def test_repair_target_avoids_holder_racks(self, topology):
+        view = FakeFleet(topology)
+        holders = ["r0m0d0", "r1m0d0"]
+        target = SpreadPlacement().repair_target("i", holders, view, random.Random(0))
+        assert topology.rack(target) == "r2"
+
+    def test_falls_back_to_used_racks_when_forced(self, topology):
+        alive = [s for s in topology.slots if topology.rack(s) == "r0"]
+        view = FakeFleet(topology, alive=alive)
+        target = SpreadPlacement().repair_target(
+            "i", ["r0m0d0"], view, random.Random(0)
+        )
+        assert target is not None
+        assert topology.rack(target) == "r0"
+
+
+class TestCopysetPlacement:
+    def test_places_within_one_copyset(self, topology):
+        policy = CopysetPlacement(topology, seed=3)
+        view = FakeFleet(topology)
+        chosen = policy.place_item("i", 3, view, random.Random(4))
+        families = policy._family(3)
+        assert any(set(chosen) <= set(cs) for cs in families)
+
+    def test_family_is_deterministic(self, topology):
+        a = CopysetPlacement(topology, seed=3)._family(3)
+        b = CopysetPlacement(topology, seed=3)._family(3)
+        assert a == b
+
+    def test_different_seeds_different_families(self, topology):
+        a = CopysetPlacement(topology, seed=3)._family(3)
+        b = CopysetPlacement(topology, seed=4)._family(3)
+        assert a != b
+
+    def test_falls_back_when_copysets_degraded(self, topology):
+        policy = CopysetPlacement(topology, seed=0, scatter_width=1)
+        # Kill enough disks that no width-3 copyset is fully alive.
+        family = policy._family(3)
+        dead = {cs[0] for cs in family}
+        view = FakeFleet(topology, alive=[s for s in topology.slots if s not in dead])
+        chosen = policy.place_item("i", 3, view, random.Random(0))
+        assert len(set(chosen)) == 3
+
+    def test_repair_target_prefers_copyset_slot(self, topology):
+        policy = CopysetPlacement(topology, seed=1)
+        view = FakeFleet(topology)
+        copyset = policy._family(3)[0]
+        holders = list(copyset[:2])
+        target = policy.repair_target("i", holders, view, random.Random(0))
+        assert slot_of(target) in copyset
+
+    def test_width_larger_than_fleet(self):
+        topo = SimTopology.grid(1, 1, 2)
+        policy = CopysetPlacement(topo, seed=0)
+        with pytest.raises(PlacementError):
+            policy._family(3)
+
+    def test_invalid_scatter_width(self, topology):
+        with pytest.raises(ValueError):
+            CopysetPlacement(topology, seed=0, scatter_width=0)
+
+
+class TestBuildPolicy:
+    def test_known_specs(self, topology):
+        assert build_policy("random", topology, 0).name == "random"
+        assert build_policy("spread", topology, 0).name == "spread"
+        assert build_policy("copyset", topology, 0).name == "copyset"
+
+    def test_unknown_spec(self, topology):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            build_policy("round-robin", topology, 0)

@@ -1,0 +1,90 @@
+"""Tests for the redundancy-scheme cost models and spec parsing."""
+
+import pytest
+
+from repro.sim.redundancy import (
+    DEFAULT_SCHEME_SPECS,
+    LocalReconstruction,
+    ReedSolomon,
+    Replication,
+    parse_scheme,
+)
+
+
+class TestReplication:
+    def test_three_way(self):
+        rep = Replication(3)
+        assert rep.name == "rep3"
+        assert rep.total_fragments == 3
+        assert rep.required_fragments == 1
+        assert rep.fault_tolerance == 2
+        assert rep.storage_overhead == 3.0
+
+    def test_repair_reads_one_disk(self):
+        rep = Replication(3)
+        assert rep.repair_fanin(1) == 1
+        assert rep.repair_fanin(2) == 1
+
+    def test_fragment_is_full_copy(self):
+        assert Replication(3).fragment_size(4.0) == 4.0
+
+
+class TestReedSolomon:
+    def test_shape(self):
+        rs = ReedSolomon(6, 3)
+        assert rs.name == "rs6+3"
+        assert rs.total_fragments == 9
+        assert rs.required_fragments == 6
+        assert rs.fault_tolerance == 3
+        assert rs.storage_overhead == 1.5
+
+    def test_repair_reads_k(self):
+        assert ReedSolomon(6, 3).repair_fanin(1) == 6
+
+    def test_fragment_size(self):
+        assert ReedSolomon(6, 3).fragment_size(6.0) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(0, 3)
+
+
+class TestLocalReconstruction:
+    def test_shape(self):
+        lrc = LocalReconstruction(6, 2, 2)
+        assert lrc.name == "lrc6+2+2"
+        assert lrc.total_fragments == 10
+        assert lrc.required_fragments == 6
+
+    def test_single_loss_repairs_locally(self):
+        lrc = LocalReconstruction(6, 2, 2)
+        assert lrc.repair_fanin(1) == 3  # the k/l local group
+        assert lrc.repair_fanin(2) == 6  # global reconstruction
+
+    def test_group_size_must_divide(self):
+        with pytest.raises(ValueError):
+            LocalReconstruction(7, 2, 2)
+
+
+class TestParseScheme:
+    @pytest.mark.parametrize("spec", DEFAULT_SCHEME_SPECS)
+    def test_default_specs_round_trip(self, spec):
+        assert parse_scheme(spec).name == spec
+
+    def test_parse_replication(self):
+        assert parse_scheme("rep2").total_fragments == 2
+
+    def test_parse_case_insensitive(self):
+        assert parse_scheme("RS6+3").name == "rs6+3"
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown redundancy spec"):
+            parse_scheme("raid5")
+
+    def test_malformed_spec(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_scheme("rsx+y")
+
+    def test_invalid_required_range(self):
+        with pytest.raises(ValueError):
+            parse_scheme("rep0")

@@ -1,0 +1,166 @@
+"""Tests for repair-demand batching into migration instances."""
+
+import random
+
+from repro.pipeline.canonical import fingerprint
+from repro.sim.placement import SpreadPlacement
+from repro.sim.redundancy import LocalReconstruction, ReedSolomon, Replication
+from repro.sim.repair import RepairDemand, build_repair_instance
+from repro.sim.topology import SimTopology
+
+from tests.sim.test_placement import FakeFleet
+
+
+def limits(view, c=2):
+    return {d: c for d in view.alive_disks()}
+
+
+class TestBuildRepairInstance:
+    def test_replication_reads_one_source(self):
+        topo = SimTopology.grid(3, 1, 2)
+        view = FakeFleet(topo)
+        demand = RepairDemand(
+            item_id="x", frag_index=0, holders=("r0m0d0", "r1m0d0"), lost=1
+        )
+        spec = build_repair_instance(
+            [demand], Replication(3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.num_transfers == 1
+        assert spec.instance.num_items == 1
+        (edge,) = spec.edge_meta.values()
+        assert edge.source in demand.holders
+        assert edge.target not in demand.holders
+
+    def test_erasure_reads_k_sources(self):
+        topo = SimTopology.grid(3, 2, 2)
+        view = FakeFleet(topo)
+        holders = tuple(sorted(topo.slots)[:8])
+        demand = RepairDemand(item_id="x", frag_index=3, holders=holders, lost=1)
+        spec = build_repair_instance(
+            [demand], ReedSolomon(6, 3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.num_transfers == 6
+        targets = {e.target for e in spec.edge_meta.values()}
+        assert len(targets) == 1
+
+    def test_lrc_single_loss_reads_local_group(self):
+        topo = SimTopology.grid(3, 2, 2)
+        view = FakeFleet(topo)
+        holders = tuple(sorted(topo.slots)[:9])
+        demand = RepairDemand(item_id="x", frag_index=0, holders=holders, lost=1)
+        spec = build_repair_instance(
+            [demand], LocalReconstruction(6, 2, 2), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.num_transfers == 3
+
+    def test_fanin_capped_by_survivors(self):
+        topo = SimTopology.grid(3, 1, 2)
+        view = FakeFleet(topo)
+        demand = RepairDemand(
+            item_id="x", frag_index=0, holders=("r0m0d0", "r1m0d0"), lost=7
+        )
+        spec = build_repair_instance(
+            [demand], ReedSolomon(6, 3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.num_transfers == 2
+
+    def test_same_item_targets_distinct_disks(self):
+        topo = SimTopology.grid(3, 2, 2)
+        view = FakeFleet(topo)
+        demands = [
+            RepairDemand(item_id="x", frag_index=i, holders=("r0m0d0",), lost=2)
+            for i in range(2)
+        ]
+        spec = build_repair_instance(
+            demands, Replication(3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        targets = {spec.target_of[("x", 0)], spec.target_of[("x", 1)]}
+        assert len(targets) == 2
+        assert "r0m0d0" not in targets
+
+    def test_unplaceable_when_no_target(self):
+        topo = SimTopology.grid(1, 1, 2)
+        view = FakeFleet(topo)  # both disks are holders; nothing left
+        demand = RepairDemand(
+            item_id="x", frag_index=0, holders=("r0m0d0", "r0m0d1"), lost=1
+        )
+        spec = build_repair_instance(
+            [demand], Replication(3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.unplaceable == [demand]
+        assert spec.num_transfers == 0
+
+    def test_no_holders_is_unplaceable(self):
+        topo = SimTopology.grid(1, 1, 2)
+        view = FakeFleet(topo)
+        demand = RepairDemand(item_id="x", frag_index=0, holders=(), lost=3)
+        spec = build_repair_instance(
+            [demand], Replication(3), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.unplaceable == [demand]
+
+    def test_capacities_from_transfer_limits(self):
+        topo = SimTopology.grid(3, 1, 2)
+        view = FakeFleet(topo)
+        demand = RepairDemand(
+            item_id="x", frag_index=0, holders=("r0m0d0",), lost=1
+        )
+        spec = build_repair_instance(
+            [demand], Replication(2), SpreadPlacement(), view,
+            random.Random(0), limits(view, c=4),
+        )
+        assert all(c == 4 for c in spec.instance.capacities.values())
+
+    def test_only_participating_disks_in_graph(self):
+        topo = SimTopology.grid(3, 2, 4)
+        view = FakeFleet(topo)
+        demand = RepairDemand(
+            item_id="x", frag_index=0, holders=("r0m0d0",), lost=1
+        )
+        spec = build_repair_instance(
+            [demand], Replication(2), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert spec.instance.num_disks == 2  # source + target, not 24
+
+    def test_recurring_shape_same_fingerprint(self):
+        """Repairs over the same disks share a plan fingerprint even when
+        the item, fragment, and rebuild order differ — the PlanCache
+        contract that makes recurring sweeps cache hits."""
+        topo = SimTopology.grid(3, 2, 4)
+        view = FakeFleet(topo)
+        d1 = RepairDemand(item_id="a", frag_index=0, holders=("r0m0d0",), lost=1)
+        d2 = RepairDemand(item_id="b", frag_index=1, holders=("r0m0d0",), lost=1)
+        s1 = build_repair_instance(
+            [d1], Replication(2), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        s2 = build_repair_instance(
+            [d2], Replication(2), SpreadPlacement(), view,
+            random.Random(1), limits(view),
+        )
+        assert fingerprint(s1.instance) == fingerprint(s2.instance)
+
+    def test_fingerprint_keys_on_disk_labels(self):
+        """The fingerprint is label-sensitive: the same shape on other
+        disks is a distinct cache entry (tokens rehydrate by node repr)."""
+        topo = SimTopology.grid(3, 2, 4)
+        view = FakeFleet(topo)
+        d1 = RepairDemand(item_id="a", frag_index=0, holders=("r0m0d0",), lost=1)
+        d2 = RepairDemand(item_id="a", frag_index=0, holders=("r2m1d3",), lost=1)
+        s1 = build_repair_instance(
+            [d1], Replication(2), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        s2 = build_repair_instance(
+            [d2], Replication(2), SpreadPlacement(), view,
+            random.Random(0), limits(view),
+        )
+        assert fingerprint(s1.instance) != fingerprint(s2.instance)

@@ -1,0 +1,73 @@
+"""Tests for campaign reports, canonical JSON, and policy comparison."""
+
+import json
+
+from repro.sim.engine import SimConfig
+from repro.sim.report import (
+    REPORT_SCHEMA,
+    compare_policies,
+    policy_table,
+    run_campaign,
+)
+
+
+def small_config(**overrides):
+    base = dict(duration=200.0, items=30, seed=4)
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestSimReport:
+    def test_schema_and_sections(self):
+        report = run_campaign(small_config())
+        data = report.to_json()
+        assert data["schema"] == REPORT_SCHEMA
+        for section in ("config", "summary", "metrics", "incidents", "loss_events"):
+            assert section in data
+
+    def test_canonical_json_is_byte_stable(self):
+        a = run_campaign(small_config()).canonical_json()
+        b = run_campaign(small_config()).canonical_json()
+        assert a == b
+
+    def test_canonical_json_parses_back(self):
+        report = run_campaign(small_config())
+        data = json.loads(report.canonical_json())
+        assert data["summary"]["incidents"] == report.summary["incidents"]
+
+    def test_summary_consistency(self):
+        report = run_campaign(small_config())
+        assert report.summary["incidents"] == len(report.incidents)
+        assert report.summary["data_loss_events"] == len(report.loss_events)
+        assert report.summary["repair_transfers"] == sum(
+            i["transfers"] for i in report.incidents
+        )
+
+    def test_render_mentions_config(self):
+        text = run_campaign(small_config()).render()
+        assert "scheme=rep3" in text
+        assert "data_loss_events" in text
+
+
+class TestComparePolicies:
+    def test_same_failure_process_across_policies(self):
+        reports = compare_policies(
+            small_config(), ("random", "spread")
+        )
+        assert set(reports) == {"random", "spread"}
+        # Same seed → same disk-failure count regardless of placement.
+        a = reports["random"].metrics["counters"].get("sim_disk_failures", 0)
+        b = reports["spread"].metrics["counters"].get("sim_disk_failures", 0)
+        assert a == b
+
+    def test_policy_echoed_in_config(self):
+        reports = compare_policies(small_config(), ("random", "spread"))
+        assert reports["random"].config["placement"] == "random"
+        assert reports["spread"].config["placement"] == "spread"
+
+    def test_policy_table_renders_all_rows(self):
+        reports = compare_policies(small_config(), ("random", "spread"))
+        text = policy_table(reports).render()
+        assert "random" in text
+        assert "spread" in text
+        assert "loss_events" in text

@@ -1,0 +1,82 @@
+"""Tests for the sim topology grid and replacement-disk identities."""
+
+import pytest
+
+from repro.sim.topology import (
+    SimTopology,
+    distinct_failure_domains,
+    replacement_id,
+    slot_of,
+    spread_score,
+)
+
+
+class TestSlotIdentity:
+    def test_slot_of_plain_disk(self):
+        assert slot_of("r0m1d2") == "r0m1d2"
+
+    def test_slot_of_replacement(self):
+        assert slot_of("r0m1d2#3") == "r0m1d2"
+
+    def test_replacement_id(self):
+        assert replacement_id("r0m1d2", 1) == "r0m1d2#1"
+
+    def test_replacement_of_replacement_keeps_slot(self):
+        assert replacement_id("r0m1d2#1", 2) == "r0m1d2#2"
+
+
+class TestGrid:
+    def test_grid_dimensions(self):
+        topo = SimTopology.grid(3, 2, 4)
+        assert topo.num_slots == 24
+        assert len(topo.slots) == 24
+
+    def test_slots_sorted(self):
+        topo = SimTopology.grid(2, 2, 2)
+        assert topo.slots == sorted(topo.slots)
+
+    def test_rack_and_machine(self):
+        topo = SimTopology.grid(3, 2, 4)
+        assert topo.rack("r1m0d3") == "r1"
+        assert topo.machine("r1m0d3") == "r1m0"
+
+    def test_replacement_resolves_to_same_slot(self):
+        topo = SimTopology.grid(3, 2, 4)
+        assert topo.rack("r2m1d0#7") == "r2"
+        assert topo.machine("r2m1d0#7") == "r2m1"
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SimTopology.grid(0, 2, 4)
+
+    def test_build_disks(self):
+        topo = SimTopology.grid(2, 1, 2)
+        disks = topo.build_disks(transfer_limit=3, bandwidth=2.0)
+        assert [d.disk_id for d in disks] == topo.slots
+        assert all(d.transfer_limit == 3 for d in disks)
+        assert all(d.bandwidth == 2.0 for d in disks)
+
+    def test_fabric_assignment(self):
+        topo = SimTopology.grid(2, 1, 2)
+        fabric = topo.fabric(["r0m0d0", "r1m0d1#2"], uplink_bandwidth=6.0)
+        assert fabric.rack("r0m0d0") == "r0"
+        assert fabric.rack("r1m0d1#2") == "r1"
+        assert fabric.uplink_bandwidth == 6.0
+
+
+class TestFailureDomains:
+    def test_distinct_racks(self):
+        topo = SimTopology.grid(3, 2, 4)
+        disks = ["r0m0d0", "r0m1d0", "r1m0d0"]
+        assert distinct_failure_domains(topo, disks, "rack") == 2
+        assert distinct_failure_domains(topo, disks, "machine") == 3
+
+    def test_unknown_level_rejected(self):
+        topo = SimTopology.grid(1, 1, 1)
+        with pytest.raises(ValueError):
+            distinct_failure_domains(topo, ["r0m0d0"], "datacenter")
+
+    def test_spread_score(self):
+        topo = SimTopology.grid(3, 2, 4)
+        assert spread_score(topo, ["r0m0d0", "r1m0d0", "r2m0d0"]) == (3, 3)
+        assert spread_score(topo, ["r0m0d0", "r0m0d1"]) == (1, 1)

@@ -1,5 +1,7 @@
 """Tests for the repro-migrate command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -273,6 +275,54 @@ class TestServeCommand:
         assert args.queue_size == 64
         assert args.concurrency == 2
         assert args.store is None
+
+
+class TestSimCommand:
+    SHORT = [
+        "sim", "--duration", "150", "--items", "20", "--seed", "3",
+    ]
+
+    def test_campaign_prints_summary(self, capsys):
+        assert main(self.SHORT) == 0
+        out = capsys.readouterr().out
+        assert "scheme=rep3" in out
+        assert "data_loss_events" in out
+
+    def test_report_file_is_canonical_json(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(self.SHORT + ["--report", str(report)]) == 0
+        assert "report written to" in capsys.readouterr().out
+        data = json.loads(report.read_text())
+        assert data["schema"] == "sim-report/v1"
+        assert "summary" in data
+
+    def test_report_bytes_deterministic(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.SHORT + ["--report", str(a)]) == 0
+        assert main(self.SHORT + ["--report", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_compare_prints_policy_table(self, capsys):
+        assert main(self.SHORT + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("random", "spread", "copyset"):
+            assert policy in out
+
+    def test_scripted_crash_flag(self, capsys):
+        assert main(self.SHORT + ["--crash", "r0m0d0:10.0"]) == 0
+        assert "incidents" in capsys.readouterr().out
+
+    def test_invalid_config_fails(self, capsys):
+        assert main(["sim", "--duration", "0"]) == 2
+        assert "invalid sim configuration" in capsys.readouterr().err
+
+    def test_trace_out_written(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.SHORT + ["--trace-out", str(trace)]) == 0
+        assert trace.exists()
+        lines = trace.read_text().splitlines()
+        assert any('"sim.run"' in line for line in lines)
 
 
 class TestParser:
