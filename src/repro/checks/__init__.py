@@ -5,12 +5,19 @@ Three pillars, one theme: *don't trust the solver, check it*.
 * :mod:`repro.checks.lints` — a determinism linter (custom AST pass)
   that flags hash-order-dependent iteration, unseeded randomness, and
   wall-clock reads in schedule-producing modules.
+* :mod:`repro.checks.flow` — a whole-program effect and concurrency
+  analyzer over the project call graph (:mod:`repro.checks.callgraph`):
+  proves solver-registry determinism contracts transitively, checks
+  ``core``/``graphs`` clock-freedom from ``repro.plan(...)``, and flags
+  asyncio misuse (blocking calls on the loop, orphaned tasks,
+  unawaited coroutines) and ``ProcessPoolExecutor`` boundary hazards.
 * :mod:`repro.checks.certify` — an independent schedule verifier and
   machine-checkable LB1/LB2 lower-bound certificates.
 * :mod:`repro.checks.hashseed` — a cross-``PYTHONHASHSEED`` subprocess
-  harness proving schedules and executor runs are process-independent.
+  harness proving schedules, executor runs, and the flow report itself
+  are process-independent.
 
-All three are wired into ``repro-migrate check`` and the CI
+All of them are wired into ``repro-migrate check`` and the CI
 ``static-analysis`` job.
 """
 
@@ -28,6 +35,15 @@ from repro.checks.certify import (
     verify_certificate,
     verify_schedule,
 )
+from repro.checks.callgraph import CallGraph, build_call_graph
+from repro.checks.flow import (
+    FLOW_RULES,
+    FlowConfig,
+    FlowFinding,
+    FlowReport,
+    analyze_tree,
+    load_baseline,
+)
 from repro.checks.hashseed import (
     DeterminismError,
     DeterminismReport,
@@ -37,6 +53,14 @@ from repro.checks.lints import RULES, LintConfig, LintReport, lint_tree
 from repro.checks.typegate import TypeGateReport, run_type_gate
 
 __all__ = [
+    "CallGraph",
+    "FLOW_RULES",
+    "FlowConfig",
+    "FlowFinding",
+    "FlowReport",
+    "analyze_tree",
+    "build_call_graph",
+    "load_baseline",
     "CertificationError",
     "CertificationReport",
     "DeterminismError",

@@ -1,0 +1,750 @@
+"""Project-wide call-graph construction for the flow analyzer.
+
+:mod:`repro.checks.lints` is deliberately *intra*-file: it flags a
+nondeterministic pattern only where it syntactically occurs.  The flow
+analyzer (:mod:`repro.checks.flow`) needs the complementary view — who
+*calls* whom across the whole package — so that an effect introduced in
+one module is charged to every function that transitively reaches it.
+
+This module turns a package tree into that graph:
+
+* **module discovery** — every ``*.py`` under the root becomes a module
+  named relative to the package (``serve/server.py`` → ``serve.server``);
+* **import resolution** — ``import x``, ``import x as y``, and
+  ``from x import y as z`` all contribute to a per-module alias table;
+  package re-exports (``from repro.pipeline.planner import plan`` in an
+  ``__init__.py``) are followed transitively, so ``repro.plan`` resolves
+  to its defining function;
+* **function and class indexing** — top-level functions, nested
+  functions, and methods each get a stable qualified name
+  (``serve.server.PlanningServer.start``); classes record their bases,
+  methods, and attribute types;
+* **class attribution** — a method call ``obj.m(...)`` resolves through
+  the receiver's inferred type: parameter annotations, ``self.attr``
+  types harvested from ``__init__`` assignments and ``AnnAssign``
+  declarations, local ``x = ClassName(...)`` constructor assignments,
+  ``with ClassName(...) as x`` items, and return annotations of resolved
+  calls.  As a last resort a method name defined by exactly *one*
+  project class resolves there (unique-name attribution); ambiguous
+  names stay unresolved — a missed edge beats a wrong edge.
+
+Resolution is heuristic in the same spirit as the linter: conservative,
+flow-insensitive, and tuned for a near-zero false-edge rate on this
+codebase.  External callees (``random.shuffle``, ``sqlite3.connect``,
+``concurrent.futures.ThreadPoolExecutor.shutdown``) are normalized to
+dotted names so the effect engine can match them against sink tables.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.astwalk import iter_python_files, parse_file
+
+#: Names every python has; unresolved bare names fall back here.
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Subscript heads that wrap a type without changing it for our purposes.
+_OPTIONAL_HEADS = frozenset({"Optional"})
+_UNION_HEADS = frozenset({"Union"})
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or nested function in the project."""
+
+    qualname: str
+    module: str
+    path: str
+    rel: str
+    name: str
+    lineno: int
+    col: int
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    class_qual: Optional[str] = None  # enclosing class qualname, if a method
+    nested: bool = False  # defined inside another function
+    decorators: List[ast.expr] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One project class: bases, methods, inferred attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: List[str] = field(default_factory=list)  # resolved qualnames/dotted
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    attr_types: Dict[str, str] = field(default_factory=dict)  # attr -> type
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved (or deliberately unresolved) call expression."""
+
+    caller: str
+    callee: Optional[str]  # project qualname or external dotted name
+    external: bool  # callee names something outside the project
+    attr: Optional[str]  # trailing attribute/name at the call site
+    lineno: int
+    col: int
+    awaited: bool  # the call is directly under an ``await``
+    node: ast.Call = field(compare=False, repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class CallGraph:
+    """The whole-program graph the flow analyzer consumes."""
+
+    package: str
+    root: str
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    calls: Dict[str, List[CallSite]] = field(default_factory=dict)
+    module_imports: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    modules: Dict[str, str] = field(default_factory=dict)  # module -> rel path
+    subclasses: Dict[str, List[str]] = field(default_factory=dict)
+    #: method name -> class qualnames defining it (for unique attribution).
+    method_owners: Dict[str, List[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # resolution services
+    # ------------------------------------------------------------------
+    def resolve_target(self, target: str, _seen: Optional[Set[str]] = None) -> str:
+        """Follow import/re-export chains until a definition or external.
+
+        Returns a project function/class qualname when the chain lands
+        on one, otherwise the (dotted) name unchanged — callers decide
+        whether an unresolved name is an external sink or noise.
+        """
+        seen = _seen if _seen is not None else set()
+        if target in seen:
+            return target
+        seen.add(target)
+        if target in self.functions or target in self.classes:
+            return target
+        # Longest module prefix whose alias table knows the next leaf.
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            leaf = parts[cut]
+            table = self.module_imports.get(mod)
+            if table is not None and leaf in table:
+                resolved = self.resolve_target(table[leaf], seen)
+                rest = parts[cut + 1:]
+                if rest:
+                    return self.resolve_target(
+                        resolved + "." + ".".join(rest), seen
+                    )
+                return resolved
+        return target
+
+    def resolve_method(self, class_qual: str, method: str) -> Optional[str]:
+        """Look ``method`` up on ``class_qual`` and its project bases."""
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+    def implementations(self, fn_qualname: str) -> Tuple[str, ...]:
+        """All project overrides of a method, including the method itself.
+
+        Calling ``Base.m`` through a ``Base``-typed receiver may execute
+        any subclass override, so effects join over all of them.  For a
+        plain function this is just ``(fn,)``.
+        """
+        info = self.functions.get(fn_qualname)
+        if info is None or info.class_qual is None:
+            return (fn_qualname,)
+        found = [fn_qualname]
+        stack = list(self.subclasses.get(info.class_qual, ()))
+        seen: Set[str] = set()
+        while stack:
+            sub = stack.pop(0)
+            if sub in seen:
+                continue
+            seen.add(sub)
+            sub_info = self.classes.get(sub)
+            if sub_info is not None and info.name in sub_info.methods:
+                found.append(sub_info.methods[info.name])
+            stack.extend(self.subclasses.get(sub, ()))
+        return tuple(dict.fromkeys(found))
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+def module_name_for(rel: Path) -> str:
+    """``serve/server.py`` → ``serve.server``; ``__init__.py`` → package."""
+    parts = list(rel.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string when the chain is Names all the way down."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ModuleCollector(ast.NodeVisitor):
+    """Pass 1 over one module: imports, functions, classes, attr types."""
+
+    def __init__(self, graph: CallGraph, module: str, path: Path, rel: str):
+        self.graph = graph
+        self.module = module
+        self.path = path
+        self.rel = rel
+        self.imports: Dict[str, str] = {}
+        #: (class qualname stack, function nesting depth) while walking.
+        self._class_stack: List[ClassInfo] = []
+        self._func_stack: List[str] = []
+        #: attr -> type candidates (conflicts drop the attr).
+        self._attr_conflicts: Set[Tuple[str, str]] = set()
+
+    # -- naming --------------------------------------------------------
+    def _qual(self, name: str) -> str:
+        parts = []
+        if self.module:
+            parts.append(self.module)
+        if self._class_stack:
+            parts.append(
+                self._class_stack[-1].qualname[len(self.module) + 1 if self.module else 0:]
+            )
+        parts.extend(n.rsplit(".", 1)[-1] for n in self._func_stack)
+        parts.append(name)
+        return ".".join(parts)
+
+    def _internalize(self, dotted: str) -> str:
+        package = self.graph.package
+        if dotted == package:
+            return ""
+        if dotted.startswith(package + "."):
+            return dotted[len(package) + 1:]
+        return dotted
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            self.imports[local] = self._internalize(target)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            # Relative import: resolve against this module's package.
+            base_parts = self.module.split(".") if self.module else []
+            # A package's (__init__.py) level-1 base is the package
+            # itself; a plain module's level-1 base is its containing
+            # package, so the module's own leaf must be stripped too.
+            is_package = Path(self.rel).name == "__init__.py"
+            strip = node.level - 1 if is_package else node.level
+            keep = len(base_parts) - strip
+            prefix = ".".join(base_parts[:keep]) if keep > 0 else ""
+            stem = (prefix + "." if prefix and node.module else prefix) + (node.module or "")
+        else:
+            stem = self._internalize(node.module or "")
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            target = (stem + "." if stem else "") + alias.name
+            self.imports[local] = target
+
+    # -- definitions ---------------------------------------------------
+    def _register_function(
+        self, node: ast.AST, name: str, is_async: bool
+    ) -> None:
+        qualname = self._qual(name)
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module,
+            path=str(self.path),
+            rel=self.rel,
+            name=name,
+            lineno=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            node=node,
+            is_async=is_async,
+            class_qual=self._class_stack[-1].qualname if self._class_stack else None,
+            nested=bool(self._func_stack),
+            decorators=list(getattr(node, "decorator_list", [])),
+        )
+        self.graph.functions[qualname] = info
+        if self._class_stack and not self._func_stack:
+            self._class_stack[-1].methods[name] = qualname
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._register_function(node, node.name, is_async=False)
+        self._walk_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._register_function(node, node.name, is_async=True)
+        self._walk_function(node)
+
+    def _walk_function(self, node: ast.AST) -> None:
+        self._func_stack.append(getattr(node, "name", "<fn>"))
+        # Methods' class context must not leak into nested defs' method
+        # registration; only the function stack grows here.
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._func_stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = self._qual(node.name)
+        info = ClassInfo(qualname=qualname, module=self.module, name=node.name)
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is not None:
+                info.bases.append(dotted)  # resolved globally in pass 2
+        self.graph.classes[qualname] = info
+        self._class_stack.append(info)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._class_stack.pop()
+
+    # -- attribute types -----------------------------------------------
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_attr_annotation(node.target, node.annotation)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._class_stack:
+            type_name = self._value_type_name(node.value)
+            if type_name is not None:
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._record_attr_type(target.attr, type_name)
+        self.generic_visit(node)
+
+    def _record_attr_annotation(self, target: ast.expr, annotation: ast.expr) -> None:
+        if not self._class_stack:
+            return
+        name: Optional[str] = None
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            name = target.attr
+        elif isinstance(target, ast.Name) and not self._func_stack:
+            name = target.id  # class-body annotation
+        if name is None:
+            return
+        type_name = self.annotation_type(annotation)
+        if type_name is not None:
+            self._record_attr_type(name, type_name)
+
+    def _record_attr_type(self, attr: str, type_name: str) -> None:
+        info = self._class_stack[-1]
+        existing = info.attr_types.get(attr)
+        if existing is not None and existing != type_name:
+            self._attr_conflicts.add((info.qualname, attr))
+            info.attr_types.pop(attr, None)
+        elif (info.qualname, attr) not in self._attr_conflicts:
+            info.attr_types[attr] = type_name
+
+    def _value_type_name(self, value: ast.expr) -> Optional[str]:
+        """Type of ``ClassName(...)`` constructor expressions."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _dotted_name(value.func)
+        if dotted is None:
+            return None
+        return self._resolve_type_name(dotted)
+
+    def annotation_type(self, node: Optional[ast.expr]) -> Optional[str]:
+        """The (single) concrete type an annotation denotes, if any."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            return self._resolve_type_name(dotted) if dotted else None
+        if isinstance(node, ast.Subscript):
+            head = _dotted_name(node.value)
+            head_leaf = head.rsplit(".", 1)[-1] if head else None
+            if head_leaf in _OPTIONAL_HEADS:
+                return self.annotation_type(node.slice)
+            if head_leaf in _UNION_HEADS and isinstance(node.slice, ast.Tuple):
+                return self._single_type(node.slice.elts)
+            return None  # containers: not a receiver type we track
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._single_type([node.left, node.right])
+        return None
+
+    def _single_type(self, elts: Sequence[ast.expr]) -> Optional[str]:
+        candidates = set()
+        for elt in elts:
+            if isinstance(elt, ast.Constant) and elt.value is None:
+                continue
+            resolved = self.annotation_type(elt)
+            if resolved is None:
+                return None
+            candidates.add(resolved)
+        return candidates.pop() if len(candidates) == 1 else None
+
+    def _resolve_type_name(self, dotted: str) -> Optional[str]:
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is not None:
+            dotted = target + ("." + rest if rest else "")
+        elif self.module and not rest:
+            # A bare name may be a class in this module.
+            local = (self.module + "." if self.module else "") + dotted
+            if local in self.graph.classes:
+                return local
+        return dotted or None
+
+
+class _CallCollector:
+    """Pass 3 over one function: resolve every call expression."""
+
+    #: with-as / assignment inference rounds (chained aliases).
+    _ENV_ROUNDS = 2
+
+    def __init__(self, graph: CallGraph, fn: FunctionInfo, imports: Dict[str, str]):
+        self.graph = graph
+        self.fn = fn
+        self.imports = imports
+        self.env: Dict[str, str] = {}  # local name -> type qualname
+        self._build_env()
+
+    # -- local type environment ----------------------------------------
+    def _build_env(self) -> None:
+        node = self.fn.node
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                type_name = self._annotation_type(arg.annotation)
+                if type_name is not None:
+                    self.env[arg.arg] = type_name
+        body = getattr(node, "body", [])
+        for _ in range(self._ENV_ROUNDS):
+            for stmt in _iter_own_statements(body):
+                self._seed_statement(stmt)
+
+    def _seed_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                type_name = self._expr_type(stmt.value)
+                if type_name is not None:
+                    self.env[target.id] = type_name
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            type_name = self._annotation_type(stmt.annotation)
+            if type_name is not None:
+                self.env[stmt.target.id] = type_name
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    type_name = self._expr_type(item.context_expr)
+                    if type_name is not None:
+                        self.env[item.optional_vars.id] = type_name
+
+    def _annotation_type(self, annotation: Optional[ast.expr]) -> Optional[str]:
+        if annotation is None:
+            return None
+        collector = _ModuleCollector(
+            self.graph, self.fn.module, Path(self.fn.path), self.fn.rel
+        )
+        collector.imports = self.imports
+        return collector.annotation_type(annotation)
+
+    def _expr_type(self, value: ast.expr) -> Optional[str]:
+        """Best-effort type of an expression (constructor/typed source)."""
+        if isinstance(value, ast.Await):
+            value = value.value
+        if isinstance(value, ast.Call):
+            callee = self._resolve(value.func)
+            if callee is not None:
+                if callee in self.graph.classes:
+                    return callee
+                info = self.graph.functions.get(callee)
+                if info is not None:
+                    returns = getattr(info.node, "returns", None)
+                    collector = _ModuleCollector(
+                        self.graph, info.module, Path(info.path), info.rel
+                    )
+                    collector.imports = self.graph.module_imports.get(
+                        info.module, {}
+                    )
+                    return collector.annotation_type(returns)
+                # External constructor: ProcessPoolExecutor(), Path(), ...
+                # The CapWord convention is the only signal available, but
+                # it is what lets pool/receiver methods resolve to their
+                # dotted sink names.
+                leaf = callee.rsplit(".", 1)[-1]
+                if leaf[:1].isupper():
+                    return callee
+            return None
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            return self._self_attr_type(value.attr)
+        if isinstance(value, ast.Name):
+            return self.env.get(value.id)
+        return None
+
+    def _self_attr_type(self, attr: str) -> Optional[str]:
+        qual = self.fn.class_qual
+        stack = [qual] if qual else []
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current is None or current in seen:
+                continue
+            seen.add(current)
+            info = self.graph.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            stack.extend(info.bases)
+        return None
+
+    # -- call resolution -----------------------------------------------
+    def collect(self) -> List[CallSite]:
+        sites: List[CallSite] = []
+        awaited_calls = {
+            id(n.value)
+            for n in ast.walk(self.fn.node)
+            if isinstance(n, ast.Await) and isinstance(n.value, ast.Call)
+        }
+        for node in _walk_own_nodes(self.fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._resolve(node.func)
+            attr = None
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                attr = node.func.id
+            sites.append(
+                CallSite(
+                    caller=self.fn.qualname,
+                    callee=callee,
+                    external=(
+                        callee is not None
+                        and callee not in self.graph.functions
+                        and callee not in self.graph.classes
+                    ),
+                    attr=attr,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    awaited=id(node) in awaited_calls,
+                    node=node,
+                )
+            )
+        return sites
+
+    def _resolve(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func)
+        return None
+
+    def _resolve_name(self, name: str) -> Optional[str]:
+        # Lexical scoping: own nested defs, then enclosing *function*
+        # scopes (closures), then module level.  Class scopes are
+        # deliberately skipped — a bare name inside a method never
+        # resolves to a sibling method in Python.
+        candidates = [f"{self.fn.qualname}.{name}"]
+        prefix = self.fn.qualname
+        while "." in prefix:
+            prefix = prefix.rsplit(".", 1)[0]
+            if prefix in self.graph.functions:
+                candidates.append(f"{prefix}.{name}")
+            else:
+                break
+        candidates.append(f"{self.fn.module}.{name}" if self.fn.module else name)
+        for candidate in candidates:
+            if candidate in self.graph.functions or candidate in self.graph.classes:
+                return candidate
+        target = self.imports.get(name)
+        if target is not None:
+            return self.graph.resolve_target(target)
+        if name in _BUILTIN_NAMES:
+            return f"builtins.{name}"
+        return None
+
+    def _resolve_attribute(self, func: ast.Attribute) -> Optional[str]:
+        method = func.attr
+        base = func.value
+        # self.m(...) / self.attr.m(...)
+        if isinstance(base, ast.Name) and base.id == "self" and self.fn.class_qual:
+            resolved = self.graph.resolve_method(self.fn.class_qual, method)
+            if resolved is not None:
+                return resolved
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            receiver = self._self_attr_type(base.attr)
+            if receiver is not None:
+                return self._method_on(receiver, method)
+        # module.attr(...) or package.sub.attr(...)
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            if head == "self" and self.fn.class_qual:
+                receiver = self._self_attr_type(rest.split(".")[0])
+                if receiver is not None and rest.count(".") == 1:
+                    return self._method_on(receiver, method)
+            target = self.imports.get(head)
+            if target is not None:
+                resolved = self.graph.resolve_target(
+                    (target + "." + rest) if rest else target
+                )
+                return resolved
+        # typed local receiver
+        if isinstance(base, ast.Name) and base.id in self.env:
+            return self._method_on(self.env[base.id], method)
+        # return-typed call receiver: self._connection().execute(...)
+        if isinstance(base, ast.Call):
+            receiver = self._expr_type(base)
+            if receiver is not None:
+                return self._method_on(receiver, method)
+        # unique project-wide method name
+        owners = self.graph.method_owners.get(method, [])
+        if len(owners) == 1:
+            return self.graph.classes[owners[0]].methods[method]
+        return None
+
+    def _method_on(self, receiver: str, method: str) -> Optional[str]:
+        if receiver not in self.graph.classes:
+            # An unqualified type name recorded during pass 1 may be a
+            # class of the same module, or resolve through imports.
+            local = (
+                f"{self.fn.module}.{receiver}" if self.fn.module else receiver
+            )
+            if local in self.graph.classes:
+                receiver = local
+            else:
+                receiver = self.graph.resolve_target(receiver)
+        if receiver in self.graph.classes:
+            return self.graph.resolve_method(receiver, method)
+        return f"{receiver}.{method}"  # external type: dotted sink name
+
+
+def _iter_own_statements(body: Sequence[ast.stmt]):
+    """Statements of a scope, not descending into nested defs/classes."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.excepthandler):
+                for grand in ast.iter_child_nodes(child):
+                    if isinstance(grand, ast.stmt):
+                        stack.append(grand)
+
+
+def _walk_own_nodes(fn_node: ast.AST):
+    """Every node belonging to a function, excluding nested defs/lambdas.
+
+    Calls inside a nested ``def`` or ``lambda`` execute on *that*
+    function's behalf (possibly much later), so they must not be
+    attributed to the enclosing function's effect set.
+    """
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_call_graph(root: Path) -> CallGraph:
+    """Construct the project call graph for the package rooted at ``root``.
+
+    ``root`` is the package directory itself (its name becomes the
+    package name imports are internalized against), e.g. ``src/repro``.
+    """
+    root = root.resolve()
+    graph = CallGraph(package=root.name, root=str(root))
+    files = iter_python_files(root)
+    collectors: List[Tuple[str, _ModuleCollector, ast.Module]] = []
+    for path in files:
+        rel = path.relative_to(root)
+        module = module_name_for(rel)
+        try:
+            tree = parse_file(path)
+        except SyntaxError:
+            continue  # the linter reports syntax errors; skip here
+        graph.modules[module] = rel.as_posix()
+        collector = _ModuleCollector(graph, module, path, rel.as_posix())
+        collector.visit(tree)
+        graph.module_imports[module] = collector.imports
+        collectors.append((module, collector, tree))
+
+    # Pass 2: resolve class bases globally, build subclass + owner maps.
+    for info in graph.classes.values():
+        resolved_bases: List[str] = []
+        imports = graph.module_imports.get(info.module, {})
+        for base in info.bases:
+            head, _, rest = base.partition(".")
+            target = imports.get(head)
+            dotted = (target + ("." + rest if rest else "")) if target else base
+            local = (info.module + "." if info.module else "") + base
+            if local in graph.classes:
+                resolved = local
+            else:
+                resolved = graph.resolve_target(dotted)
+            resolved_bases.append(resolved)
+            if resolved in graph.classes:
+                graph.subclasses.setdefault(resolved, []).append(info.qualname)
+        info.bases = resolved_bases
+    for qual, info in graph.classes.items():
+        for method in info.methods:
+            graph.method_owners.setdefault(method, []).append(qual)
+
+    # Pass 3: resolve call sites per function.
+    for fn in graph.functions.values():
+        imports = graph.module_imports.get(fn.module, {})
+        graph.calls[fn.qualname] = _CallCollector(graph, fn, imports).collect()
+    return graph

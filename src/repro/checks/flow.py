@@ -1,0 +1,1037 @@
+"""Whole-program effect, determinism, and concurrency analyzer.
+
+The per-file linter (:mod:`repro.checks.lints`) flags nondeterministic
+*sites*; the hashseed battery replays a handful of pipelines under
+different ``PYTHONHASHSEED`` values and compares bytes.  Between the two
+sits a blind spot this module closes: properties that hold only
+*transitively*.  A solver registered ``randomized=False`` must not reach
+``random.shuffle`` through four layers of helpers; a coroutine must not
+reach ``sqlite3.connect`` through an innocent-looking ``self.store``
+method.  The analyzer proves such properties over the project call
+graph instead of sampling them at runtime.
+
+Effect lattice
+--------------
+
+Every function gets a set of *effects*, the union of its intrinsic
+effects and those of everything it (transitively) calls:
+
+========== ===========================================================
+``random``     draws from an unseeded entropy source (``random.*``
+               module-level calls, ``os.urandom``, ``secrets``,
+               ``uuid.uuid4``)
+``clock``      reads wall/monotonic time (``time.time``,
+               ``datetime.now``, ``perf_counter``, ...)
+``io``         touches files, sockets, or databases (``open``,
+               ``socket``, ``sqlite3``, ``subprocess``, ``pathlib``
+               I/O methods)
+``blocking``   waits: ``time.sleep``, ``Executor.shutdown(wait=True)``
+``hash-order`` iterates a raw set/frozenset in an order-sensitive
+               position (seeded from the linter's site analysis)
+``state``      mutates non-local state (attribute/subscript stores,
+               ``global``/``nonlocal`` rebinding)
+========== ===========================================================
+
+The report classifies each function from its closure: ``random`` or
+``hash-order`` → **nondeterministic**; else ``clock`` → **clock**; else
+``io``/``blocking`` → **io**; else ``state`` → **deterministic-stateful**;
+else **pure**.
+
+Rules
+-----
+
+``flow-solver-nondet``
+    A ``@register_solver(randomized=False)`` entry transitively reaches
+    ``random`` or ``hash-order``.
+``flow-solver-clock``
+    Any registered solver transitively reaches a clock read.
+``flow-plan-clock``
+    A ``core``/``graphs`` function reachable from ``repro.plan(...)``
+    reads the clock directly.
+``flow-async-blocking``
+    An ``async def`` calls a blocking/IO function synchronously (not
+    ``await``-ed, not offloaded via ``run_in_executor``/``to_thread``).
+``flow-async-unawaited``
+    A coroutine function is called as a bare statement — the coroutine
+    is created and dropped, the body never runs.
+``flow-async-orphan-task``
+    ``create_task``/``ensure_future`` whose result is discarded; the
+    event loop holds only a weak reference, so the task can be
+    garbage-collected mid-flight.
+``flow-async-shared-write``
+    An attribute written by a coroutine outside any ``async with``
+    lock is also touched by a method the same class dispatches to a
+    thread pool.
+``flow-pool-boundary``
+    A lambda, nested function, or bound method is submitted to a
+    ``ProcessPoolExecutor`` — unpicklable under the ``spawn`` start
+    method, and a bound method would drag shared mutable state across
+    the process boundary.
+
+Suppression mirrors the linter: ``# repro: allow-flow-async-blocking``
+(trailing or standalone-above).  Accepted findings that cannot carry an
+inline comment live in ``flow_baseline.json`` next to this module; every
+entry needs a written ``reason`` and stale entries fail the gate.
+
+The JSON report is byte-deterministic: sorted findings, sorted keys,
+relative paths, no timestamps — it is replayed across ``PYTHONHASHSEED``
+values by the hashseed battery.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.checks.astwalk import (
+    collect_symbols,
+    iter_python_files,
+    parse_file,
+    parse_suppressions,
+)
+from repro.checks.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.checks.lints import default_root, order_sensitive_findings
+
+#: rule id -> one-line description (the full catalog lives in docs/checks.md).
+FLOW_RULES: Dict[str, str] = {
+    "flow-solver-nondet": "randomized=False solver transitively reaches random/hash-order",
+    "flow-solver-clock": "registered solver transitively reaches a clock read",
+    "flow-plan-clock": "core/graphs function reachable from repro.plan reads the clock",
+    "flow-async-blocking": "blocking/IO call inside async def without executor offload",
+    "flow-async-unawaited": "coroutine called as a bare statement (never awaited)",
+    "flow-async-orphan-task": "create_task/ensure_future result discarded (task may be GC'd)",
+    "flow-async-shared-write": "unlocked coroutine write to state shared with a pool thread",
+    "flow-pool-boundary": "unpicklable callable submitted across the ProcessPool boundary",
+}
+
+#: Baseline shipped with the package (for the default analysis root).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "flow_baseline.json"
+
+REPORT_VERSION = 1
+
+# ----------------------------------------------------------------------
+# effect sinks
+# ----------------------------------------------------------------------
+
+RANDOM, CLOCK, IO, BLOCKING, HASH_ORDER, STATE = (
+    "random", "clock", "io", "blocking", "hash-order", "state",
+)
+
+#: exact external dotted name -> effects
+_SINK_EXACT: Dict[str, FrozenSet[str]] = {
+    "os.urandom": frozenset({RANDOM}),
+    "uuid.uuid4": frozenset({RANDOM}),
+    "uuid.uuid1": frozenset({RANDOM, CLOCK}),
+    "time.time": frozenset({CLOCK}),
+    "time.time_ns": frozenset({CLOCK}),
+    "time.monotonic": frozenset({CLOCK}),
+    "time.monotonic_ns": frozenset({CLOCK}),
+    "time.perf_counter": frozenset({CLOCK}),
+    "time.perf_counter_ns": frozenset({CLOCK}),
+    "time.process_time": frozenset({CLOCK}),
+    "time.process_time_ns": frozenset({CLOCK}),
+    "datetime.datetime.now": frozenset({CLOCK}),
+    "datetime.datetime.utcnow": frozenset({CLOCK}),
+    "datetime.datetime.today": frozenset({CLOCK}),
+    "datetime.date.today": frozenset({CLOCK}),
+    "time.sleep": frozenset({BLOCKING}),
+    "builtins.open": frozenset({IO}),
+    "builtins.input": frozenset({IO, BLOCKING}),
+    "sqlite3.connect": frozenset({IO}),
+    "os.makedirs": frozenset({IO}),
+    "os.mkdir": frozenset({IO}),
+    "os.remove": frozenset({IO}),
+    "os.unlink": frozenset({IO}),
+    "os.rename": frozenset({IO}),
+    "os.replace": frozenset({IO}),
+    "os.rmdir": frozenset({IO}),
+    "os.listdir": frozenset({IO}),
+    "os.scandir": frozenset({IO}),
+    "os.stat": frozenset({IO}),
+    "os.fsync": frozenset({IO}),
+    "concurrent.futures.ThreadPoolExecutor.shutdown": frozenset({BLOCKING}),
+    "concurrent.futures.ProcessPoolExecutor.shutdown": frozenset({BLOCKING}),
+    "concurrent.futures.Future.result": frozenset({BLOCKING}),
+}
+
+#: dotted-prefix -> effects (matched on ``name == p or name.startswith(p + '.')``)
+_SINK_PREFIX: Dict[str, FrozenSet[str]] = {
+    "socket": frozenset({IO}),
+    "shutil": frozenset({IO}),
+    "subprocess": frozenset({IO, BLOCKING}),
+    "secrets": frozenset({RANDOM}),
+    "sqlite3.Connection": frozenset({IO}),
+    "sqlite3.Cursor": frozenset({IO}),
+    "pathlib.Path": frozenset({IO}),
+    "http.client": frozenset({IO}),
+    "urllib.request": frozenset({IO}),
+}
+
+#: ``pathlib.Path`` methods that are pure path algebra, not filesystem I/O.
+_PATH_PURE = frozenset({
+    "joinpath", "with_suffix", "with_name", "with_stem", "as_posix", "as_uri",
+    "is_absolute", "relative_to", "name", "stem", "suffix", "parent", "parts",
+})
+
+#: ``random`` module attributes that do NOT hit the global unseeded RNG.
+_RANDOM_EXEMPT = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: attribute names that dispatch a callable reference onto an executor.
+_EXECUTOR_DISPATCH = frozenset({"run_in_executor", "to_thread"})
+
+#: attribute names that create asyncio tasks.
+_TASK_FACTORIES = frozenset({"create_task", "ensure_future"})
+
+
+def sink_effects(dotted: str) -> FrozenSet[str]:
+    """Effects of one external callee, or the empty set."""
+    if dotted.startswith("random."):
+        leaf = dotted.split(".", 1)[1]
+        if "." not in leaf and leaf not in _RANDOM_EXEMPT:
+            return frozenset({RANDOM})
+        return frozenset()
+    exact = _SINK_EXACT.get(dotted)
+    if exact is not None:
+        return exact
+    for prefix, effects in _SINK_PREFIX.items():
+        if dotted == prefix or dotted.startswith(prefix + "."):
+            if prefix == "pathlib.Path":
+                leaf = dotted.rsplit(".", 1)[-1]
+                if leaf in _PATH_PURE:
+                    return frozenset()
+            return effects
+    return frozenset()
+
+
+# ----------------------------------------------------------------------
+# configuration / findings / report
+# ----------------------------------------------------------------------
+
+@dataclass
+class FlowConfig:
+    """What the analyzer checks and where the contracts apply."""
+
+    #: top-level packages whose functions must be clock-free when
+    #: reachable from a plan root.
+    contract_packages: Tuple[str, ...] = ("core", "graphs")
+    #: entry points whose closure the plan-clock contract covers
+    #: (resolved through re-export chains).
+    plan_roots: Tuple[str, ...] = ("pipeline.planner.plan",)
+    #: decorator name that registers a solver contract.
+    solver_decorator: str = "register_solver"
+
+
+@dataclass(frozen=True, order=True)
+class FlowFinding:
+    """One analyzer finding, ordered for stable reporting."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+            f"{self.function}: {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, matched by (rule, function)."""
+
+    rule: str
+    function: str
+    reason: str
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing reason, ...)."""
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; every entry must carry a written reason."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+        raise BaselineError(f"{path}: expected an object with an 'entries' list")
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(payload["entries"]):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entry {i} is not an object")
+        rule = raw.get("rule")
+        function = raw.get("function")
+        reason = raw.get("reason")
+        if not isinstance(rule, str) or rule not in FLOW_RULES:
+            raise BaselineError(f"{path}: entry {i}: unknown rule {rule!r}")
+        if not isinstance(function, str) or not function:
+            raise BaselineError(f"{path}: entry {i}: missing 'function'")
+        if not isinstance(reason, str) or not reason.strip():
+            raise BaselineError(
+                f"{path}: entry {i}: every baseline entry needs a written 'reason'"
+            )
+        entries.append(BaselineEntry(rule=rule, function=function, reason=reason))
+    return entries
+
+
+@dataclass
+class FlowReport:
+    """Outcome of one analyzer run; see :meth:`canonical_json`."""
+
+    package: str
+    files: int
+    functions: int
+    classification_counts: Dict[str, int] = field(default_factory=dict)
+    solvers: List[Dict[str, object]] = field(default_factory=list)
+    plan_roots: List[Dict[str, object]] = field(default_factory=list)
+    findings: List[FlowFinding] = field(default_factory=list)
+    suppressed: List[FlowFinding] = field(default_factory=list)
+    baselined: List[Dict[str, str]] = field(default_factory=list)
+    stale_baseline: List[Dict[str, str]] = field(default_factory=list)
+    #: function qualname -> sorted effect closure (API only, not in JSON).
+    effects: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    classifications: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": REPORT_VERSION,
+            "ok": self.ok,
+            "package": self.package,
+            "files": self.files,
+            "functions": self.functions,
+            "classification_counts": dict(sorted(self.classification_counts.items())),
+            "contracts": {
+                "solvers": self.solvers,
+                "plan_roots": self.plan_roots,
+            },
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "suppressed": [f.to_dict() for f in sorted(self.suppressed)],
+            "baselined": sorted(
+                self.baselined, key=lambda e: (e["rule"], e["function"])
+            ),
+            "stale_baseline": sorted(
+                self.stale_baseline, key=lambda e: (e["rule"], e["function"])
+            ),
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-deterministic serialization (the CI artifact format)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        lines = [f.render() for f in sorted(self.findings)]
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry: [{entry['rule']}] {entry['function']} "
+                "(no matching finding; remove it)"
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined, {self.functions} function(s) "
+            f"in {self.files} file(s)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# effect inference
+# ----------------------------------------------------------------------
+
+def _intrinsic_effects(
+    graph: CallGraph,
+    hash_order_fns: Set[str],
+) -> Dict[str, Set[str]]:
+    """Per-function effects before propagation."""
+    intrinsic: Dict[str, Set[str]] = {q: set() for q in graph.functions}
+    for qualname in hash_order_fns:
+        if qualname in intrinsic:
+            intrinsic[qualname].add(HASH_ORDER)
+    for qualname, info in graph.functions.items():
+        effects = intrinsic[qualname]
+        # state: non-local mutation visible to callers.
+        for node in _own_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        effects.add(STATE)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                effects.add(STATE)
+        # external sinks at call sites.
+        for site in graph.calls.get(qualname, ()):
+            if site.callee is not None and site.external:
+                effects |= sink_effects(site.callee)
+    return intrinsic
+
+
+def _propagate(
+    graph: CallGraph, intrinsic: Mapping[str, Set[str]]
+) -> Dict[str, FrozenSet[str]]:
+    """Transitive closure of effects over project call edges."""
+    effects: Dict[str, Set[str]] = {q: set(v) for q, v in intrinsic.items()}
+    # Pre-resolve each function's project callees (with override joins).
+    callees: Dict[str, Tuple[str, ...]] = {}
+    for qualname in graph.functions:
+        targets: List[str] = []
+        for site in graph.calls.get(qualname, ()):
+            if site.callee is None or site.external:
+                continue
+            if site.callee in graph.classes:
+                init = graph.resolve_method(site.callee, "__init__")
+                if init is not None:
+                    targets.append(init)
+                continue
+            for impl in graph.implementations(site.callee):
+                if impl in effects:
+                    targets.append(impl)
+        callees[qualname] = tuple(dict.fromkeys(targets))
+    changed = True
+    while changed:
+        changed = False
+        for qualname in graph.functions:
+            merged = effects[qualname]
+            before = len(merged)
+            for callee in callees[qualname]:
+                merged |= effects[callee]
+            if len(merged) != before:
+                changed = True
+    return {q: frozenset(v) for q, v in effects.items()}
+
+
+def classify(effects: FrozenSet[str]) -> str:
+    """Collapse an effect set to the report's five-way label."""
+    if RANDOM in effects or HASH_ORDER in effects:
+        return "nondeterministic"
+    if CLOCK in effects:
+        return "clock"
+    if IO in effects or BLOCKING in effects:
+        return "io"
+    if STATE in effects:
+        return "deterministic-stateful"
+    return "pure"
+
+
+def _blame_chain(
+    graph: CallGraph,
+    intrinsic: Mapping[str, Set[str]],
+    effects: Mapping[str, FrozenSet[str]],
+    start: str,
+    wanted: Set[str],
+) -> List[str]:
+    """A deterministic call chain from ``start`` to an intrinsic carrier.
+
+    The chain ends with the external sink itself when one exists
+    (``... -> solvers.order -> random.shuffle``), so the finding names
+    the offending call, not just the function containing it.
+    """
+    chain = [start]
+    current = start
+    seen = {start}
+    for _ in range(len(graph.functions)):
+        if intrinsic.get(current, set()) & wanted:
+            for callee in sorted(
+                {
+                    site.callee
+                    for site in graph.calls.get(current, ())
+                    if site.external and site.callee is not None
+                }
+            ):
+                if sink_effects(callee) & wanted:
+                    chain.append(callee)
+                    break
+            return chain
+        next_fn: Optional[str] = None
+        sites = sorted(
+            {
+                impl
+                for site in graph.calls.get(current, ())
+                if site.callee is not None and not site.external
+                for impl in (
+                    graph.implementations(site.callee)
+                    if site.callee not in graph.classes
+                    else ([graph.resolve_method(site.callee, "__init__")] or [])
+                )
+                if impl is not None
+            }
+        )
+        for callee in sites:
+            if callee not in seen and effects.get(callee, frozenset()) & wanted:
+                next_fn = callee
+                break
+        if next_fn is None:
+            return chain
+        chain.append(next_fn)
+        seen.add(next_fn)
+        current = next_fn
+    return chain
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+def _own_nodes(fn_node: ast.AST):
+    """Nodes of a function body, excluding nested defs and lambdas."""
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _decorated_solver(
+    info: FunctionInfo, decorator_name: str
+) -> Optional[Tuple[str, bool]]:
+    """(solver name, randomized) when ``info`` registers a solver."""
+    for deco in info.decorators:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != decorator_name:
+            continue
+        solver_name = info.name
+        if deco.args and isinstance(deco.args[0], ast.Constant) and isinstance(
+            deco.args[0].value, str
+        ):
+            solver_name = deco.args[0].value
+        randomized = False
+        for kw in deco.keywords:
+            if kw.arg == "randomized" and isinstance(kw.value, ast.Constant):
+                randomized = bool(kw.value.value)
+        return solver_name, randomized
+    return None
+
+
+def _reachable(graph: CallGraph, roots: Sequence[str]) -> Set[str]:
+    """Project functions reachable from ``roots`` over call edges."""
+    seen: Set[str] = set()
+    stack = [r for r in roots if r in graph.functions]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for site in graph.calls.get(current, ()):
+            if site.callee is None or site.external:
+                continue
+            if site.callee in graph.classes:
+                init = graph.resolve_method(site.callee, "__init__")
+                if init is not None and init not in seen:
+                    stack.append(init)
+                continue
+            for impl in graph.implementations(site.callee):
+                if impl in graph.functions and impl not in seen:
+                    stack.append(impl)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# the analyzer
+# ----------------------------------------------------------------------
+
+class _Analyzer:
+    def __init__(self, root: Path, config: FlowConfig):
+        self.root = root.resolve()
+        self.config = config
+        self.graph = build_call_graph(self.root)
+        self.findings: List[FlowFinding] = []
+        #: rel path -> {line -> suppressed rule names}
+        self._suppressions: Dict[str, Dict[int, Set[str]]] = {}
+        #: rel path -> sorted (start, end, qualname) spans, innermost wins.
+        self._spans: Dict[str, List[Tuple[int, int, str]]] = {}
+        self._trees: List[Tuple[Path, str, ast.Module]] = []
+        for path in iter_python_files(self.root):
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                tree = parse_file(path)
+            except SyntaxError:
+                continue
+            self._trees.append((path, rel, tree))
+            self._suppressions[rel] = parse_suppressions(path.read_text())
+        for info in self.graph.functions.values():
+            end = getattr(info.node, "end_lineno", info.lineno) or info.lineno
+            self._spans.setdefault(info.rel, []).append(
+                (info.lineno, end, info.qualname)
+            )
+        for spans in self._spans.values():
+            spans.sort()
+        self.intrinsic = _intrinsic_effects(self.graph, self._hash_order_functions())
+        self.effects = _propagate(self.graph, self.intrinsic)
+
+    # -- attribution ---------------------------------------------------
+    def _function_at(self, rel: str, line: int) -> Optional[str]:
+        best: Optional[Tuple[int, str]] = None
+        for start, end, qualname in self._spans.get(rel, ()):
+            if start <= line <= end:
+                size = end - start
+                if best is None or size <= best[0]:
+                    best = (size, qualname)
+        return best[1] if best else None
+
+    def _hash_order_functions(self) -> Set[str]:
+        symbols = collect_symbols([(str(p), t) for p, _r, t in self._trees])
+        carriers: Set[str] = set()
+        for path, rel, tree in self._trees:
+            for finding in order_sensitive_findings(path, tree, symbols):
+                qualname = self._function_at(rel, finding.line)
+                if qualname is not None:
+                    carriers.add(qualname)
+        return carriers
+
+    # -- finding emission ----------------------------------------------
+    def _emit(
+        self, rule: str, info: FunctionInfo, message: str,
+        line: Optional[int] = None, col: Optional[int] = None,
+    ) -> None:
+        self.findings.append(
+            FlowFinding(
+                rule=rule,
+                path=info.rel,
+                line=line if line is not None else info.lineno,
+                col=col if col is not None else info.col,
+                function=info.qualname,
+                message=message,
+            )
+        )
+
+    def _chain_text(self, start: str, wanted: Set[str]) -> str:
+        chain = _blame_chain(
+            self.graph, self.intrinsic, self.effects, start, wanted
+        )
+        return " -> ".join(chain)
+
+    # -- contracts -----------------------------------------------------
+    def check_solver_contracts(self) -> List[Dict[str, object]]:
+        solvers: List[Dict[str, object]] = []
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            contract = _decorated_solver(info, self.config.solver_decorator)
+            if contract is None:
+                continue
+            solver_name, randomized = contract
+            closure = self.effects.get(qualname, frozenset())
+            status = "ok"
+            if not randomized and (RANDOM in closure or HASH_ORDER in closure):
+                status = "violated"
+                wanted = {RANDOM, HASH_ORDER}
+                self._emit(
+                    "flow-solver-nondet", info,
+                    f"solver '{solver_name}' is registered randomized=False but "
+                    f"reaches nondeterminism: {self._chain_text(qualname, wanted)}",
+                )
+            if CLOCK in closure:
+                status = "violated"
+                self._emit(
+                    "flow-solver-clock", info,
+                    f"solver '{solver_name}' reaches a clock read: "
+                    f"{self._chain_text(qualname, {CLOCK})}",
+                )
+            solvers.append(
+                {
+                    "solver": solver_name,
+                    "function": qualname,
+                    "randomized": randomized,
+                    "status": status,
+                }
+            )
+        return solvers
+
+    def check_plan_clock(self) -> List[Dict[str, object]]:
+        summaries: List[Dict[str, object]] = []
+        for raw_root in self.config.plan_roots:
+            resolved = self.graph.resolve_target(raw_root)
+            if resolved not in self.graph.functions:
+                summaries.append(
+                    {"root": raw_root, "checked": 0, "violations": 0,
+                     "status": "unresolved"}
+                )
+                continue
+            reachable = _reachable(self.graph, [resolved])
+            checked = 0
+            violations = 0
+            for qualname in sorted(reachable):
+                info = self.graph.functions[qualname]
+                package = info.module.split(".", 1)[0] if info.module else ""
+                if package not in self.config.contract_packages:
+                    continue
+                checked += 1
+                if CLOCK in self.intrinsic.get(qualname, set()):
+                    violations += 1
+                    self._emit(
+                        "flow-plan-clock", info,
+                        f"reads the clock and is reachable from {raw_root}; "
+                        "take timestamps at the boundary and pass them in",
+                    )
+            summaries.append(
+                {"root": raw_root, "checked": checked, "violations": violations,
+                 "status": "violated" if violations else "ok"}
+            )
+        return summaries
+
+    # -- async rules ---------------------------------------------------
+    def check_async_blocking(self) -> None:
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            if not info.is_async:
+                continue
+            for site in sorted(
+                self.graph.calls.get(qualname, ()),
+                key=lambda s: (s.lineno, s.col),
+            ):
+                if site.awaited or site.callee is None:
+                    continue
+                if site.external:
+                    effects = sink_effects(site.callee)
+                    blame = site.callee
+                else:
+                    callee_info = self.graph.functions.get(site.callee)
+                    if callee_info is None or callee_info.is_async:
+                        continue  # coroutine creation: flow-async-unawaited's job
+                    effects = frozenset().union(
+                        *(
+                            self.effects.get(impl, frozenset())
+                            for impl in self.graph.implementations(site.callee)
+                        )
+                    )
+                    blame = self._chain_text(site.callee, {IO, BLOCKING})
+                if effects & {IO, BLOCKING}:
+                    self._emit(
+                        "flow-async-blocking", info,
+                        f"blocking call on the event loop: {blame}; offload via "
+                        "run_in_executor/asyncio.to_thread or await an async API",
+                        line=site.lineno, col=site.col,
+                    )
+
+    def check_async_unawaited(self) -> None:
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            for node in _own_nodes(info.node):
+                if not isinstance(node, ast.Expr) or not isinstance(
+                    node.value, ast.Call
+                ):
+                    continue
+                site = self._site_for(qualname, node.value)
+                if site is None or site.callee is None or site.external:
+                    continue
+                callee_info = self.graph.functions.get(site.callee)
+                if callee_info is None or not callee_info.is_async:
+                    continue
+                if site.awaited:
+                    continue
+                self._emit(
+                    "flow-async-unawaited", info,
+                    f"coroutine {site.callee}(...) is created but never awaited; "
+                    "its body will not run",
+                    line=site.lineno, col=site.col,
+                )
+
+    def check_async_orphan_tasks(self) -> None:
+        for _path, rel, tree in self._trees:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                attr = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name)
+                    else None
+                )
+                if attr not in _TASK_FACTORIES:
+                    continue
+                parent = parents.get(node)
+                orphaned = isinstance(parent, ast.Expr) or isinstance(
+                    parent, ast.Lambda
+                )
+                if isinstance(parent, ast.Await):
+                    orphaned = False
+                if not orphaned:
+                    continue
+                qualname = self._function_at(rel, node.lineno)
+                if qualname is None:
+                    continue
+                info = self.graph.functions[qualname]
+                self._emit(
+                    "flow-async-orphan-task", info,
+                    f"{attr}(...) result is discarded; the loop keeps only a "
+                    "weak reference, so the task can be garbage-collected — "
+                    "retain the handle on an attribute or collection",
+                    line=node.lineno, col=node.col_offset,
+                )
+
+    def check_async_shared_writes(self) -> None:
+        for class_qual in sorted(self.graph.classes):
+            cls = self.graph.classes[class_qual]
+            thread_methods = self._thread_dispatched_methods(class_qual)
+            if not thread_methods:
+                continue
+            thread_touched: Set[str] = set()
+            for method_qual in thread_methods:
+                method = self.graph.functions.get(method_qual)
+                if method is None:
+                    continue
+                for node in _own_nodes(method.node):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    ):
+                        thread_touched.add(node.attr)
+            if not thread_touched:
+                continue
+            for method_name in sorted(cls.methods):
+                method_qual = cls.methods[method_name]
+                info = self.graph.functions.get(method_qual)
+                if info is None or not info.is_async:
+                    continue
+                for attr, node in self._unlocked_self_writes(info):
+                    if attr in thread_touched and method_qual not in thread_methods:
+                        self._emit(
+                            "flow-async-shared-write", info,
+                            f"writes self.{attr} outside an asyncio.Lock while "
+                            f"the attribute is also touched by a thread-pool "
+                            f"method of {class_qual}",
+                            line=node.lineno, col=node.col_offset,
+                        )
+
+    def _thread_dispatched_methods(self, class_qual: str) -> Set[str]:
+        """Methods of a class that get handed to executor threads."""
+        cls = self.graph.classes[class_qual]
+        dispatched: Set[str] = set()
+        for method_qual in cls.methods.values():
+            for site in self.graph.calls.get(method_qual, ()):
+                if site.node is None or site.attr not in (
+                    _EXECUTOR_DISPATCH | {"submit"}
+                ):
+                    continue
+                if site.attr == "submit" and not (
+                    site.callee is not None
+                    and site.callee.startswith("concurrent.futures.")
+                ):
+                    continue
+                arg_index = 1 if site.attr == "run_in_executor" else 0
+                if len(site.node.args) <= arg_index:
+                    continue
+                target = site.node.args[arg_index]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    resolved = self.graph.resolve_method(class_qual, target.attr)
+                    if resolved is not None:
+                        dispatched.add(resolved)
+        return dispatched
+
+    def _unlocked_self_writes(self, info: FunctionInfo):
+        """(attr, node) for ``self.attr`` stores outside any ``async with``."""
+        protected: Set[int] = set()
+        for node in _own_nodes(info.node):
+            if isinstance(node, ast.AsyncWith):
+                for inner in ast.walk(node):
+                    protected.add(id(inner))
+        for node in _own_nodes(info.node):
+            if id(node) in protected:
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    yield base.attr, node
+
+    # -- pool boundary -------------------------------------------------
+    def check_pool_boundary(self) -> None:
+        pool_calls = {
+            "concurrent.futures.ProcessPoolExecutor.submit",
+            "concurrent.futures.ProcessPoolExecutor.map",
+        }
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            for site in sorted(
+                self.graph.calls.get(qualname, ()),
+                key=lambda s: (s.lineno, s.col),
+            ):
+                if site.callee not in pool_calls or site.node is None:
+                    continue
+                if not site.node.args:
+                    continue
+                target = site.node.args[0]
+                problem: Optional[str] = None
+                if isinstance(target, ast.Lambda):
+                    problem = "a lambda is not picklable under spawn"
+                elif isinstance(target, ast.Attribute):
+                    problem = (
+                        "a bound method drags its instance (and any shared "
+                        "mutable state) across the process boundary"
+                    )
+                elif isinstance(target, ast.Name):
+                    resolved = self._resolve_reference(qualname, target.id)
+                    if resolved is not None:
+                        ref = self.graph.functions.get(resolved)
+                        if ref is not None and ref.nested:
+                            problem = (
+                                f"nested function {resolved} is not picklable "
+                                "under spawn; hoist it to module level"
+                            )
+                if problem is not None:
+                    self._emit(
+                        "flow-pool-boundary", info,
+                        f"{site.attr}() across the ProcessPool boundary: {problem}",
+                        line=site.lineno, col=site.col,
+                    )
+
+    def _resolve_reference(self, caller: str, name: str) -> Optional[str]:
+        """Resolve a bare-name callable *reference* (not a call)."""
+        info = self.graph.functions[caller]
+        candidates = [f"{caller}.{name}"]
+        if info.module:
+            candidates.append(f"{info.module}.{name}")
+        else:
+            candidates.append(name)
+        for candidate in candidates:
+            if candidate in self.graph.functions:
+                return candidate
+        imports = self.graph.module_imports.get(info.module, {})
+        if name in imports:
+            resolved = self.graph.resolve_target(imports[name])
+            if resolved in self.graph.functions:
+                return resolved
+        return None
+
+    def _site_for(self, caller: str, node: ast.Call) -> Optional[CallSite]:
+        for site in self.graph.calls.get(caller, ()):
+            if site.node is node:
+                return site
+        return None
+
+    # -- driver --------------------------------------------------------
+    def run(self, baseline: Sequence[BaselineEntry]) -> FlowReport:
+        solvers = self.check_solver_contracts()
+        plan_roots = self.check_plan_clock()
+        self.check_async_blocking()
+        self.check_async_unawaited()
+        self.check_async_orphan_tasks()
+        self.check_async_shared_writes()
+        self.check_pool_boundary()
+
+        active: List[FlowFinding] = []
+        suppressed: List[FlowFinding] = []
+        for finding in self.findings:
+            rules = self._suppressions.get(finding.path, {}).get(finding.line, ())
+            if finding.rule in rules:
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+
+        matched: List[Dict[str, str]] = []
+        remaining: List[FlowFinding] = []
+        by_key = {(e.rule, e.function): e for e in baseline}
+        used: Set[Tuple[str, str]] = set()
+        for finding in active:
+            key = (finding.rule, finding.function)
+            entry = by_key.get(key)
+            if entry is not None:
+                used.add(key)
+                matched.append(
+                    {"rule": entry.rule, "function": entry.function,
+                     "reason": entry.reason}
+                )
+            else:
+                remaining.append(finding)
+        stale = [
+            {"rule": e.rule, "function": e.function, "reason": e.reason}
+            for e in baseline
+            if (e.rule, e.function) not in used
+        ]
+
+        classifications = {
+            q: classify(self.effects[q]) for q in sorted(self.graph.functions)
+        }
+        counts: Dict[str, int] = {}
+        for label in classifications.values():
+            counts[label] = counts.get(label, 0) + 1
+        return FlowReport(
+            package=self.graph.package,
+            files=len(self.graph.modules),
+            functions=len(self.graph.functions),
+            classification_counts=counts,
+            solvers=solvers,
+            plan_roots=plan_roots,
+            findings=sorted(remaining),
+            suppressed=sorted(suppressed),
+            baselined=matched,
+            stale_baseline=stale,
+            effects={q: tuple(sorted(v)) for q, v in sorted(self.effects.items())},
+            classifications=classifications,
+        )
+
+
+def analyze_tree(
+    root: Optional[Path] = None,
+    config: Optional[FlowConfig] = None,
+    baseline_path: Optional[Path] = None,
+) -> FlowReport:
+    """Run the flow analyzer over a package tree.
+
+    ``root`` defaults to the installed ``repro`` package; in that case
+    the shipped baseline (``flow_baseline.json``) applies unless
+    ``baseline_path`` overrides it.  For explicit roots no baseline is
+    loaded by default — synthetic test trees start clean.
+    """
+    resolved_root = (root or default_root()).resolve()
+    if baseline_path is None and root is None and DEFAULT_BASELINE_PATH.exists():
+        baseline_path = DEFAULT_BASELINE_PATH
+    baseline: List[BaselineEntry] = []
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+    analyzer = _Analyzer(resolved_root, config or FlowConfig())
+    return analyzer.run(baseline)

@@ -117,6 +117,18 @@ sys.stdout.write(run_campaign(config).canonical_json())
 """
 
 
+#: Runs the whole-program flow analyzer over the installed package and
+#: prints the canonical report JSON — call-graph construction, effect
+#: fixpoint, contract checks, and finding order must all be independent
+#: of ``PYTHONHASHSEED`` for the bytes to match.  argv: (none)
+FLOW_DRIVER = """\
+import sys
+from repro.checks.flow import analyze_tree
+
+sys.stdout.write(analyze_tree().canonical_json())
+"""
+
+
 @dataclass(frozen=True)
 class DeterminismCheck:
     """One driver run compared across hash seeds."""
@@ -202,6 +214,7 @@ def check_determinism(
     plan_cases: Optional[Sequence[Tuple[str, int, int, int, str]]] = None,
     include_executor: bool = True,
     include_sim: bool = True,
+    include_flow: bool = True,
     hash_seeds: Tuple[int, int] = (0, 1),
 ) -> DeterminismReport:
     """Run the full cross-hash-seed battery.
@@ -235,6 +248,12 @@ def check_determinism(
         checks.append(
             compare_across_hash_seeds(
                 "sim/cross-hashseed", SIM_DRIVER, ["300", "40", "5"], hash_seeds
+            )
+        )
+    if include_flow:
+        checks.append(
+            compare_across_hash_seeds(
+                "checks/flow-report", FLOW_DRIVER, [], hash_seeds
             )
         )
     return DeterminismReport(checks=tuple(checks))

@@ -36,7 +36,11 @@ Rules
 Order-insensitive consumers (``sorted``, ``sum``, ``min``, ``max``,
 ``any``, ``all``, ``len``, ``set``, ``frozenset``, ``Counter``) are
 exempt — feeding a set into them is deterministic.  Set comprehensions
-over sets are likewise exempt (unordered in, unordered out).
+over sets are likewise exempt (unordered in, unordered out).  The
+exemption also holds through an intermediate variable: when a name is
+bound exactly once to the materialized value and *every* use of it is a
+direct argument to an order-insensitive consumer, the hash order never
+escapes (``items = [f(x) for x in s]; return sorted(items)``).
 
 ``set-iter``, ``set-order`` and ``wall-clock`` apply only to the
 schedule-producing packages (``core/``, ``graphs/``, ``runtime/`` by
@@ -263,10 +267,13 @@ class _Checker:
         #: (finding, (first_line, last_line)) — the span a suppression
         #: comment may attach to.
         self.found: List[Tuple[Finding, Tuple[int, int]]] = []
+        #: Per-scope stack of names whose every use is order-insensitive.
+        self._insensitive: List[Set[str]] = []
 
     # -- scope recursion ----------------------------------------------
     def check_scope(self, body: Sequence[ast.stmt], inference: SetTypeInference) -> None:
         inference.seed_from_body(body)
+        self._insensitive.append(self._order_insensitive_names(body))
         for node in _walk_scope(body):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 child = inference.child()
@@ -276,6 +283,7 @@ class _Checker:
                 self.check_scope(node.body, inference.child())
             else:
                 self._check_node(node, inference)
+        self._insensitive.pop()
 
     # -- node dispatch -------------------------------------------------
     def _check_node(self, node: ast.AST, inference: SetTypeInference) -> None:
@@ -313,6 +321,8 @@ class _Checker:
         if not self.deterministic:
             return
         if self._feeds_order_insensitive_consumer(node):
+            return
+        if self._assigned_to_order_insensitive(node):
             return
         for gen in node.generators:  # type: ignore[attr-defined]
             if inference.is_set(gen.iter):
@@ -369,6 +379,7 @@ class _Checker:
             and func.id in _ORDERING_CONSUMERS
             and node.args
             and inference.is_set(node.args[0])
+            and not self._assigned_to_order_insensitive(node)
         ):
             self._emit(
                 "set-order", node,
@@ -405,6 +416,104 @@ class _Checker:
             else None
         )
         return name in ORDER_INSENSITIVE_CONSUMERS
+
+    def _assigned_to_order_insensitive(self, node: ast.expr) -> bool:
+        """The value is bound to a name that only ever feeds consumers.
+
+        ``items = [f(x) for x in s]; return sorted(items)`` is as
+        deterministic as ``sorted(f(x) for x in s)`` — the intermediate
+        list's hash-dependent order never escapes.
+        """
+        parent = self.parents.get(node)
+        name: Optional[str] = None
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            name = parent.targets[0].id
+        elif isinstance(parent, ast.AnnAssign) and isinstance(parent.target, ast.Name):
+            name = parent.target.id
+        if name is None:
+            return False
+        return any(name in scope for scope in self._insensitive)
+
+    def _order_insensitive_names(self, body: Sequence[ast.stmt]) -> Set[str]:
+        """Names bound once whose every load feeds an insensitive consumer.
+
+        Any other use — a second binding, a ``del``, a read outside a
+        direct ``sorted(...)``-style argument position, or *any* mention
+        inside a nested def/class (a closure could leak the value) —
+        disqualifies the name.
+        """
+        stores: Dict[str, int] = {}
+        ok_loads: Dict[str, int] = {}
+        disqualified: Set[str] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Name):
+                        disqualified.add(inner.id)
+                continue
+            if isinstance(node, ast.Lambda):
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Name):
+                        disqualified.add(inner.id)
+                continue
+            if not isinstance(node, ast.Name):
+                continue
+            if isinstance(node.ctx, ast.Store):
+                stores[node.id] = stores.get(node.id, 0) + 1
+            elif isinstance(node.ctx, ast.Load):
+                if self._feeds_order_insensitive_consumer(node):
+                    ok_loads[node.id] = ok_loads.get(node.id, 0) + 1
+                else:
+                    disqualified.add(node.id)
+            else:  # Del
+                disqualified.add(node.id)
+        return {
+            name
+            for name, count in stores.items()
+            if count == 1 and name not in disqualified and ok_loads.get(name, 0) > 0
+        }
+
+
+def order_sensitive_findings(
+    path: Path, tree: ast.Module, symbols: SymbolTable
+) -> List[Finding]:
+    """``set-iter``/``set-order`` findings for one file, package-independent.
+
+    The flow analyzer (:mod:`repro.checks.flow`) seeds its ``hash-order``
+    effect from these sites in *every* module — effect inference is about
+    what a function does, not which package it lives in — while the lint
+    gate keeps its deterministic-package scoping.  Inline suppressions
+    (``# repro: allow-set-iter``) are honored, so an acknowledged
+    exception does not poison the transitive effect closure.
+    """
+    source = path.read_text()
+    suppressions = parse_suppressions(source)
+    imports = _collect_imports(tree)
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    checker = _Checker(
+        path=str(path),
+        symbols=symbols,
+        config=LintConfig(select={"set-iter", "set-order"}),
+        deterministic=True,
+        imports=imports,
+        parents=parents,
+    )
+    checker.check_scope(tree.body, SetTypeInference(symbols))
+    active: List[Finding] = []
+    for finding, span in checker.found:
+        if not any(
+            finding.rule in suppressions.get(line, ())
+            for line in range(span[0], span[1] + 1)
+        ):
+            active.append(finding)
+    return sorted(active)
 
 
 def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:

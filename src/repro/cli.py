@@ -589,13 +589,31 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return fuzz_main(["--trials", str(args.trials), "--seed", str(args.seed)])
 
 
+#: ``repro-migrate check`` exit codes: one documented code per failing
+#: gate, in run order (the first failing gate wins).  0 = all green,
+#: 2 = argparse usage error.
+CHECK_EXIT_OK = 0
+CHECK_EXIT_LINT = 3
+CHECK_EXIT_TYPES = 4
+CHECK_EXIT_DETERMINISM = 5
+CHECK_EXIT_EFFECTS = 6
+CHECK_EXIT_CERTIFY = 7
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    """Run the repro.checks battery; exit non-zero on any failure."""
+    """Run the repro.checks battery.
+
+    Gates run in a fixed order (lint → types → determinism → effects);
+    every requested gate runs even after a failure, and the exit code
+    is the first failing gate's documented code.  ``--json`` replaces
+    the human output with one machine-readable summary of all gates.
+    """
     import json
     from pathlib import Path
 
     from repro.checks import (
         CertificationError,
+        analyze_tree,
         certificate_to_json,
         certify,
         check_determinism,
@@ -603,6 +621,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
         make_certificate,
         run_type_gate,
     )
+    from repro.checks.flow import BaselineError
+
+    summary: dict = {"gates": {}}
+    human = not args.json
+    exit_code = CHECK_EXIT_OK
+
+    def gate_failed(code: int) -> None:
+        nonlocal exit_code
+        if exit_code == CHECK_EXIT_OK:
+            exit_code = code
 
     if args.certify is not None:
         from repro.workloads.io import load_instance
@@ -612,47 +640,117 @@ def _cmd_check(args: argparse.Namespace) -> int:
         try:
             report = certify(instance, schedule)
         except CertificationError as exc:
-            print(f"certification FAILED: {exc}")
-            return 1
-        print(
-            f"schedule: {report.rounds} rounds (method={report.method}); "
-            f"verified lower bound: {report.lower_bound}; "
-            f"certified optimal: {report.certified_optimal}"
-        )
-        print(json.dumps(certificate_to_json(make_certificate(instance)), indent=2))
-        return 0
+            if human:
+                print(f"certification FAILED: {exc}")
+            summary["gates"]["certify"] = {"ok": False, "error": str(exc)}
+            gate_failed(CHECK_EXIT_CERTIFY)
+        else:
+            if human:
+                print(
+                    f"schedule: {report.rounds} rounds (method={report.method}); "
+                    f"verified lower bound: {report.lower_bound}; "
+                    f"certified optimal: {report.certified_optimal}"
+                )
+                print(
+                    json.dumps(
+                        certificate_to_json(make_certificate(instance)), indent=2
+                    )
+                )
+            summary["gates"]["certify"] = {
+                "ok": True,
+                "rounds": report.rounds,
+                "lower_bound": report.lower_bound,
+                "certified_optimal": report.certified_optimal,
+            }
+        summary["ok"] = exit_code == CHECK_EXIT_OK
+        summary["exit_code"] = exit_code
+        if not human:
+            print(json.dumps(summary, sort_keys=True, indent=2))
+        return exit_code
 
-    run_all = not (args.lint or args.types or args.determinism)
-    failed = False
+    run_all = not (args.lint or args.types or args.determinism or args.effects)
     root = Path(args.root) if args.root else None
 
     if args.lint or run_all:
         lint_report = lint_tree(root=root)
-        print(
-            f"lint: {len(lint_report.findings)} findings, "
-            f"{len(lint_report.suppressed)} suppressed, "
-            f"{lint_report.files_scanned} files"
-        )
+        if human:
+            print(
+                f"lint: {len(lint_report.findings)} findings, "
+                f"{len(lint_report.suppressed)} suppressed, "
+                f"{lint_report.files_scanned} files"
+            )
+            if not lint_report.ok:
+                print(lint_report.render())
+        summary["gates"]["lint"] = {
+            "ok": lint_report.ok,
+            "findings": len(lint_report.findings),
+            "suppressed": len(lint_report.suppressed),
+            "files": lint_report.files_scanned,
+        }
         if not lint_report.ok:
-            print(lint_report.render())
-            failed = True
+            gate_failed(CHECK_EXIT_LINT)
 
     if args.types or run_all:
         type_report = run_type_gate()
-        print(type_report.render().strip())
+        if human:
+            print(type_report.render().strip())
+        summary["gates"]["types"] = {
+            "ok": type_report.ok,
+            "skipped": getattr(type_report, "skipped", False),
+        }
         if not type_report.ok:
-            failed = True
+            gate_failed(CHECK_EXIT_TYPES)
 
     if args.determinism or run_all:
         det_report = check_determinism(
-            include_executor=not args.fast, include_sim=not args.fast
+            include_executor=not args.fast,
+            include_sim=not args.fast,
+            include_flow=not args.fast,
         )
-        print("determinism (PYTHONHASHSEED 0 vs 1):")
-        print(det_report.render())
+        if human:
+            print("determinism (PYTHONHASHSEED 0 vs 1):")
+            print(det_report.render())
+        summary["gates"]["determinism"] = {
+            "ok": det_report.ok,
+            "cases": len(det_report.checks),
+        }
         if not det_report.ok:
-            failed = True
+            gate_failed(CHECK_EXIT_DETERMINISM)
 
-    return 1 if failed else 0
+    if args.effects or run_all:
+        baseline = Path(args.flow_baseline) if args.flow_baseline else None
+        try:
+            flow_report = analyze_tree(root=root, baseline_path=baseline)
+        except BaselineError as exc:
+            if human:
+                print(f"effects: baseline error: {exc}")
+            summary["gates"]["effects"] = {"ok": False, "error": str(exc)}
+            gate_failed(CHECK_EXIT_EFFECTS)
+        else:
+            if human:
+                print("effects (flow analyzer):")
+                print(flow_report.render())
+            if args.flow_report:
+                Path(args.flow_report).write_text(flow_report.canonical_json())
+                if human:
+                    print(f"flow report written to {args.flow_report}")
+            summary["gates"]["effects"] = {
+                "ok": flow_report.ok,
+                "findings": len(flow_report.findings),
+                "suppressed": len(flow_report.suppressed),
+                "baselined": len(flow_report.baselined),
+                "stale_baseline": len(flow_report.stale_baseline),
+                "functions": flow_report.functions,
+                "classification_counts": flow_report.classification_counts,
+            }
+            if not flow_report.ok:
+                gate_failed(CHECK_EXIT_EFFECTS)
+
+    summary["ok"] = exit_code == CHECK_EXIT_OK
+    summary["exit_code"] = exit_code
+    if not human:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -881,8 +979,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "is not installed)")
     p_check.add_argument("--determinism", action="store_true",
                          help="run only the cross-PYTHONHASHSEED harness")
+    p_check.add_argument("--effects", action="store_true",
+                         help="run only the whole-program flow analyzer "
+                              "(effect inference, solver contracts, "
+                              "async-safety, pool-boundary rules)")
     p_check.add_argument("--fast", action="store_true",
                          help="skip the (slow) executor determinism case")
+    p_check.add_argument("--json", action="store_true",
+                         help="print one machine-readable summary of all "
+                              "gates instead of human output")
+    p_check.add_argument("--flow-report", metavar="PATH", default=None,
+                         help="write the flow analyzer's byte-deterministic "
+                              "JSON report to PATH")
+    p_check.add_argument("--flow-baseline", metavar="PATH", default=None,
+                         help="flow baseline file (default: the baseline "
+                              "shipped with the package when analyzing the "
+                              "installed tree)")
     p_check.add_argument("--certify", metavar="PATH", default=None,
                          help="plan a JSON instance (see `generate`), "
                               "independently certify the schedule, and print "

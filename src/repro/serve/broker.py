@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.obs import names
@@ -211,7 +212,12 @@ class RequestBroker:
             task.cancel()
         await asyncio.gather(*self._consumers, return_exceptions=True)
         self._consumers.clear()
-        self._threads.shutdown(wait=True)
+        # shutdown(wait=True) joins worker threads — run it off-loop so a
+        # slow final solve can't freeze health checks and other servers
+        # sharing this event loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, partial(self._threads.shutdown, wait=True)
+        )
 
     # ------------------------------------------------------------------
     # admission

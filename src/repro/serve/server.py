@@ -110,6 +110,9 @@ class PlanningServer:
         self.warmed_entries = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._done: Optional["asyncio.Event"] = None
+        #: the signal-handler drain task; retained so the event loop's
+        #: weak reference is not the only thing keeping it alive.
+        self._drain_task: Optional["asyncio.Task[None]"] = None
         self._draining = False
         self._methods: Tuple[str, ...] = ("auto", *solver_names())
 
@@ -128,15 +131,23 @@ class PlanningServer:
         return self._draining
 
     async def start(self) -> None:
-        """Open the store, warm the cache, start broker and socket."""
+        """Open the store, warm the cache, start broker and socket.
+
+        Store open and cache warm-up hit the filesystem (SQLite/JSONL),
+        so both run on the default executor — the event loop keeps
+        serving health checks while a large store loads.
+        """
         if self._server is not None:
             return
+        loop = asyncio.get_running_loop()
         if self.config.store_path is not None:
-            self.store = open_store(self.config.store_path)
+            self.store = await loop.run_in_executor(
+                None, open_store, self.config.store_path
+            )
         self.cache = PlanCache(
             max_entries=self.config.cache_entries, store=self.store
         )
-        self.warmed_entries = self.cache.warm()
+        self.warmed_entries = await loop.run_in_executor(None, self.cache.warm)
         self.broker = RequestBroker(
             cache=self.cache, config=self.config.broker, tracer=self.tracer
         )
@@ -146,14 +157,23 @@ class PlanningServer:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         if self.config.install_signal_handlers:
-            loop = asyncio.get_running_loop()
             for signum in (signal.SIGTERM, signal.SIGINT):
                 try:
-                    loop.add_signal_handler(
-                        signum, lambda: loop.create_task(self.drain())
-                    )
+                    loop.add_signal_handler(signum, self.request_drain)
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     pass  # platform without loop signal support
+
+    def request_drain(self) -> "asyncio.Task[None]":
+        """Schedule a drain and retain the task (signal-handler entry).
+
+        ``loop.create_task`` alone is not enough: the loop holds only a
+        weak reference to a running task, so a fire-and-forget drain can
+        be garbage-collected mid-shutdown.  The handle lives on
+        ``self._drain_task``; repeated signals reuse the running drain.
+        """
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+        return self._drain_task
 
     async def drain(self) -> None:
         """Stop admission, finish in-flight solves, flush, shut down."""
@@ -165,9 +185,12 @@ class PlanningServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Store flush and trace-export close are file I/O; keep the loop
+        # responsive (healthz answers "draining") while they run.
+        loop = asyncio.get_running_loop()
         if self.store is not None:
-            self.store.close()
-        self.tracer.close()
+            await loop.run_in_executor(None, self.store.close)
+        await loop.run_in_executor(None, self.tracer.close)
         if self._done is not None:
             self._done.set()
 

@@ -1,0 +1,221 @@
+"""Edge-case coverage for the shared AST infrastructure.
+
+:mod:`repro.checks.astwalk` underpins both the linter and the flow
+analyzer, but until now it was only exercised indirectly through
+whole-tree lint runs.  These tests pin the corners: nested classes,
+decorated async defs, lambdas, walrus targets, and the suppression
+grammar's odder shapes.
+"""
+
+import ast
+import textwrap
+
+from repro.checks.astwalk import (
+    SetTypeInference,
+    SymbolTable,
+    annotation_is_set,
+    annotation_tuple_mask,
+    collect_symbols,
+    parse_suppressions,
+)
+
+
+def parse(source: str) -> ast.Module:
+    return ast.parse(textwrap.dedent(source))
+
+
+def infer(source: str, symbols: SymbolTable = None):
+    """(inference, fn) seeded from the first function in ``source``."""
+    tree = parse(source)
+    fn = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    inference = SetTypeInference(symbols or SymbolTable())
+    inference.seed_from_args(fn.args)
+    inference.seed_from_body(fn.body)
+    return inference, fn
+
+
+class TestCollectSymbolsEdgeCases:
+    def test_methods_of_nested_classes_are_harvested(self):
+        tree = parse(
+            """
+            class Outer:
+                class Inner:
+                    def neighbors(self) -> set:
+                        return set()
+            """
+        )
+        table = collect_symbols([("m.py", tree)])
+        assert "neighbors" in table.set_returning
+
+    def test_decorated_async_def_return_annotation_counts(self):
+        tree = parse(
+            """
+            import functools
+
+            @functools.lru_cache
+            async def active_nodes() -> "set":
+                return set()
+            """
+        )
+        table = collect_symbols([("m.py", tree)])
+        assert "active_nodes" in table.set_returning
+
+    def test_conflicting_annotations_drop_the_name(self):
+        tree = parse(
+            """
+            def nodes() -> set: ...
+
+            def helper():
+                def nodes() -> list: ...
+            """
+        )
+        table = collect_symbols([("m.py", tree)])
+        assert "nodes" not in table.set_returning
+
+    def test_attribute_annotations_in_nested_class_bodies(self):
+        tree = parse(
+            """
+            from typing import Set
+
+            class A:
+                class B:
+                    members: Set[str]
+            """
+        )
+        table = collect_symbols([("m.py", tree)])
+        assert "members" in table.set_attributes
+
+    def test_tuple_mask_for_mixed_returns(self):
+        tree = parse(
+            """
+            from typing import Set, Tuple
+
+            def split() -> Tuple[Set[int], list]:
+                return set(), []
+            """
+        )
+        table = collect_symbols([("m.py", tree)])
+        assert table.tuple_returning["split"] == (True, False)
+
+
+class TestSetInferenceEdgeCases:
+    def test_walrus_target_is_set_typed(self):
+        inference, fn = infer(
+            """
+            def f(xs):
+                if (seen := set(xs)):
+                    return seen
+                return None
+            """
+        )
+        # The NamedExpr value propagates through the walrus.
+        walrus = next(n for n in ast.walk(fn) if isinstance(n, ast.NamedExpr))
+        assert inference.is_set(walrus)
+
+    def test_lambda_is_not_entered_by_scope_seeding(self):
+        # The lambda body's own assignment-free scope must not poison
+        # the enclosing scope, and inference on the enclosing scope
+        # still sees names defined around the lambda.
+        inference, _fn = infer(
+            """
+            def f(xs):
+                s = set(xs)
+                key = lambda v: (v, len(s))
+                return key
+            """
+        )
+        assert "s" in inference.known
+
+    def test_chained_aliases_reach_fixpoint(self):
+        inference, _fn = infer(
+            """
+            def f(xs):
+                a = set(xs)
+                b = a
+                c = b
+                return c
+            """
+        )
+        assert {"a", "b", "c"} <= inference.known
+
+    def test_child_scope_inherits_closure_names(self):
+        inference, fn = infer(
+            """
+            def f(xs):
+                s = set(xs)
+
+                def g():
+                    return s
+                return g
+            """
+        )
+        child = inference.child()
+        assert child.is_set(ast.parse("s", mode="eval").body)
+
+    def test_async_def_args_seed_like_sync(self):
+        tree = parse(
+            """
+            async def f(pending: set, done: "frozenset"):
+                return pending, done
+            """
+        )
+        fn = tree.body[0]
+        inference = SetTypeInference(SymbolTable())
+        inference.seed_from_args(fn.args)
+        assert {"pending", "done"} <= inference.known
+
+    def test_tuple_unpacking_from_masked_call(self):
+        table = SymbolTable(tuple_returning={"split": (True, False)})
+        inference, _fn = infer(
+            """
+            def f():
+                left, right = split()
+                return left, right
+            """,
+            symbols=table,
+        )
+        assert "left" in inference.known
+        assert "right" not in inference.known
+
+
+class TestAnnotationPredicates:
+    def test_pep604_union_with_none(self):
+        node = ast.parse("set[int] | None", mode="eval").body
+        assert annotation_is_set(node)
+
+    def test_string_forward_reference(self):
+        node = ast.Constant(value="Set[str]")
+        assert annotation_is_set(node)
+
+    def test_bad_forward_reference_is_not_set(self):
+        node = ast.Constant(value="Set[str")  # unbalanced: unparsable
+        assert not annotation_is_set(node)
+
+    def test_variadic_tuple_has_no_mask(self):
+        node = ast.parse("Tuple[Set[int], ...]", mode="eval").body
+        assert annotation_tuple_mask(node) is None
+
+
+class TestSuppressionGrammar:
+    def test_trailing_and_standalone_comments(self):
+        src = (
+            "x = 1  # repro: allow-set-iter\n"
+            "# repro: allow-flow-async-blocking\n"
+            "y = 2\n"
+        )
+        sup = parse_suppressions(src)
+        assert sup[1] == {"set-iter"}
+        assert "flow-async-blocking" in sup[2]
+        assert "flow-async-blocking" in sup[3]
+
+    def test_marker_without_rules_is_ignored(self):
+        assert parse_suppressions("x = 1  # repro: see docs\n") == {}
+
+    def test_multiple_rules_one_comment(self):
+        sup = parse_suppressions(
+            "z = 0  # repro: allow-set-iter, allow-flow-pool-boundary\n"
+        )
+        assert sup[1] == {"set-iter", "flow-pool-boundary"}

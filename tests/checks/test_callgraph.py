@@ -1,0 +1,367 @@
+"""Call-graph construction tests (repro.checks.callgraph).
+
+Each test writes a tiny synthetic package tree and asserts the graph's
+resolution decisions: module naming, import/re-export chains, method
+attribution through receiver types, subclass joins, and the deliberate
+refusal to resolve ambiguous method names.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.checks.callgraph import build_call_graph, module_name_for
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    pkg = root / "pkg"
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return pkg
+
+
+def callees_of(graph, qualname):
+    return {
+        s.callee for s in graph.calls.get(qualname, ()) if s.callee is not None
+    }
+
+
+class TestModuleNaming:
+    def test_module_names_are_root_relative(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "serve/__init__.py": "",
+                "serve/server.py": "def f():\n    pass\n",
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert graph.package == "pkg"
+        assert "serve.server" in graph.modules
+        assert "" in graph.modules  # the root __init__.py
+        assert "serve.server.f" in graph.functions
+
+    def test_module_name_for(self):
+        assert module_name_for(Path("serve/server.py")) == "serve.server"
+        assert module_name_for(Path("serve/__init__.py")) == "serve"
+        assert module_name_for(Path("__init__.py")) == ""
+
+
+class TestImportResolution:
+    def test_from_import_resolves_across_modules(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "a.py": "def helper():\n    pass\n",
+                "b.py": """
+                    from pkg.a import helper
+
+                    def caller():
+                        helper()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "a.helper" in callees_of(graph, "b.caller")
+
+    def test_reexport_chain_through_init(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "from pkg.inner.impl import work\n",
+                "inner/__init__.py": "",
+                "inner/impl.py": "def work():\n    pass\n",
+                "user.py": """
+                    import pkg
+
+                    def go():
+                        pkg.work()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "inner.impl.work" in callees_of(graph, "user.go")
+
+    def test_relative_import(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "sub/__init__.py": "",
+                "sub/a.py": "def util():\n    pass\n",
+                "sub/b.py": """
+                    from .a import util
+
+                    def caller():
+                        util()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "sub.a.util" in callees_of(graph, "sub.b.caller")
+
+    def test_external_calls_are_normalized_dotted_names(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    import random
+                    from datetime import datetime
+
+                    def f():
+                        random.shuffle([])
+                        datetime.now()
+                        open("x")
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        callees = callees_of(graph, "m.f")
+        assert {"random.shuffle", "datetime.datetime.now", "builtins.open"} <= callees
+
+
+class TestMethodAttribution:
+    def test_self_method_resolves_within_class(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Worker:
+                        def run(self):
+                            self.step()
+
+                        def step(self):
+                            pass
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "m.Worker.step" in callees_of(graph, "m.Worker.run")
+
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Base:
+                        def common(self):
+                            pass
+
+                    class Child(Base):
+                        def run(self):
+                            self.common()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "m.Base.common" in callees_of(graph, "m.Child.run")
+
+    def test_annotated_parameter_receiver(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Engine:
+                        def fire(self):
+                            pass
+
+                    def drive(e: Engine):
+                        e.fire()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "m.Engine.fire" in callees_of(graph, "m.drive")
+
+    def test_constructor_assignment_receiver(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Engine:
+                        def fire(self):
+                            pass
+
+                    def drive():
+                        e = Engine()
+                        e.fire()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "m.Engine.fire" in callees_of(graph, "m.drive")
+
+    def test_self_attr_type_from_init(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Engine:
+                        def fire(self):
+                            pass
+
+                    class Car:
+                        def __init__(self):
+                            self.engine = Engine()
+
+                        def drive(self):
+                            self.engine.fire()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "m.Engine.fire" in callees_of(graph, "m.Car.drive")
+
+    def test_unique_method_name_attributes_across_project(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "a.py": """
+                    class Only:
+                        def very_unique_method(self):
+                            pass
+                """,
+                "b.py": """
+                    def caller(thing):
+                        thing.very_unique_method()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert "a.Only.very_unique_method" in callees_of(graph, "b.caller")
+
+    def test_ambiguous_method_name_stays_unresolved(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class A:
+                        def close(self):
+                            pass
+
+                    class B:
+                        def close(self):
+                            pass
+
+                    def caller(thing):
+                        thing.close()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        sites = [s for s in graph.calls["m.caller"] if s.attr == "close"]
+        assert len(sites) == 1
+        assert sites[0].callee is None  # a missed edge beats a wrong edge
+
+    def test_bare_name_in_method_does_not_resolve_to_sibling(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class C:
+                        def helper(self):
+                            pass
+
+                        def run(self):
+                            helper()  # NameError at runtime, not a method call
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        sites = [s for s in graph.calls["m.C.run"] if s.attr == "helper"]
+        assert sites[0].callee is None
+
+
+class TestOverridesAndStructure:
+    def test_implementations_join_subclass_overrides(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    class Store:
+                        def close(self):
+                            ...
+
+                    class Sqlite(Store):
+                        def close(self):
+                            pass
+
+                    class Jsonl(Store):
+                        def close(self):
+                            pass
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        impls = set(graph.implementations("m.Store.close"))
+        assert impls == {"m.Store.close", "m.Sqlite.close", "m.Jsonl.close"}
+
+    def test_nested_functions_are_marked(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    def outer():
+                        def inner():
+                            pass
+                        return inner
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        assert graph.functions["m.outer.inner"].nested
+        assert not graph.functions["m.outer"].nested
+
+    def test_awaited_calls_are_marked(self, tmp_path):
+        pkg = write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "m.py": """
+                    async def helper():
+                        pass
+
+                    async def runner():
+                        await helper()
+                        helper()
+                """,
+            },
+        )
+        graph = build_call_graph(pkg)
+        sites = sorted(
+            (s for s in graph.calls["m.runner"] if s.attr == "helper"),
+            key=lambda s: s.lineno,
+        )
+        assert [s.awaited for s in sites] == [True, False]
+
+    def test_graph_is_deterministic_across_builds(self, tmp_path):
+        files = {
+            "__init__.py": "from pkg.a import one\n",
+            "a.py": "def one():\n    two()\n\ndef two():\n    pass\n",
+            "b.py": "import pkg.a\n\ndef go():\n    pkg.a.one()\n",
+        }
+        pkg = write_tree(tmp_path, files)
+        first = build_call_graph(pkg)
+        second = build_call_graph(pkg)
+        assert sorted(first.functions) == sorted(second.functions)
+        assert {
+            q: [(s.callee, s.lineno) for s in sites]
+            for q, sites in first.calls.items()
+        } == {
+            q: [(s.callee, s.lineno) for s in sites]
+            for q, sites in second.calls.items()
+        }

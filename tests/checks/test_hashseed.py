@@ -10,6 +10,7 @@ import pytest
 from repro.checks.hashseed import (
     DeterminismError,
     EXECUTOR_DRIVER,
+    FLOW_DRIVER,
     PLAN_DRIVER,
     SIM_DRIVER,
     check_determinism,
@@ -56,12 +57,24 @@ class TestSimDeterminism:
         assert check.ok, check.detail
 
 
+class TestFlowReportDeterminism:
+    def test_flow_report_identical_across_hash_seeds(self):
+        # The analyzer's call graph, effect fixpoint, and finding order
+        # must all be hash-seed independent for the CI artifact bytes
+        # to match.
+        check = compare_across_hash_seeds(
+            "checks/flow-report", FLOW_DRIVER, [], hash_seeds=(1, 31337)
+        )
+        assert check.ok, check.detail
+
+
 class TestHarness:
     def test_battery_report_renders(self):
         report = check_determinism(
             plan_cases=[("plan/tiny", 6, 12, 0, "auto")],
             include_executor=False,
             include_sim=False,
+            include_flow=False,
         )
         assert report.ok
         assert "plan/tiny: ok" in report.render()

@@ -59,9 +59,11 @@ class TestSetIterSelfTest:
         assert not report.ok
         assert "set-iter" in rules_of(report)
 
-    def test_cli_exits_nonzero(self, tmp_path, capsys):
+    def test_cli_exits_with_the_lint_gate_code(self, tmp_path, capsys):
         write_module(tmp_path, "core/sched.py", self.SYNTHETIC)
-        assert cli_main(["check", "--lint", "--root", str(tmp_path)]) == 1
+        from repro.cli import CHECK_EXIT_LINT
+
+        assert cli_main(["check", "--lint", "--root", str(tmp_path)]) == CHECK_EXIT_LINT
 
     def test_same_code_outside_deterministic_packages_passes(self, tmp_path):
         write_module(tmp_path, "analysis/sched.py", self.SYNTHETIC)
@@ -320,3 +322,97 @@ class TestConfig:
         write_module(tmp_path, "core/bad.py", "def f(:\n")
         report = lint_tree(root=tmp_path)
         assert rules_of(report) == ["syntax-error"]
+
+
+class TestOrderInsensitiveThroughIntermediate:
+    """The consumer exemption holds through a single-assignment name.
+
+    ``items = [f(x) for x in s]; return sorted(items)`` is exactly as
+    deterministic as ``sorted(f(x) for x in s)`` — the intermediate
+    list's hash-dependent order never escapes.  This used to be a
+    false positive forcing pointless inlining.
+    """
+
+    def test_comprehension_assigned_then_sorted_is_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                items = [x * 2 for x in s]
+                return sorted(items)
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_list_call_assigned_then_sorted_is_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                tmp = list(s)
+                return sorted(tmp)
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_annotated_assignment_is_also_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            from typing import List
+
+            def f(s: set):
+                items: List[int] = [x for x in s]
+                return max(items), min(items)
+            """,
+        )
+        assert lint_tree(root=tmp_path).ok
+
+    def test_any_other_use_still_flags(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                items = [x for x in s]
+                first = items[0]  # order-sensitive read
+                return sorted(items), first
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert not report.ok
+        assert "set-iter" in rules_of(report)
+
+    def test_rebinding_disqualifies_the_name(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                items = [x for x in s]
+                items = items + [0]
+                return sorted(items)
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert not report.ok
+
+    def test_closure_use_disqualifies_the_name(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/m.py",
+            """
+            def f(s: set):
+                items = [x for x in s]
+
+                def peek():
+                    return items[0]
+
+                return sorted(items), peek
+            """,
+        )
+        report = lint_tree(root=tmp_path)
+        assert not report.ok

@@ -265,6 +265,45 @@ class TestDrain:
         assert response["coalesced"] is False
         assert response["num_rounds"] >= 1
 
+    def test_drain_keeps_event_loop_responsive_while_joining_workers(self):
+        """Regression: flow-async-blocking in RequestBroker.drain.
+
+        ``shutdown(wait=True)`` used to run directly on the event loop;
+        with a worker thread still busy, the whole loop froze until the
+        thread finished — health checks included.  The fix offloads the
+        join to an executor, so a heartbeat coroutine must keep ticking
+        while drain waits for a deliberately slow worker.
+        """
+
+        async def scenario():
+            broker = RequestBroker(config=BrokerConfig(concurrency=1), tracer=Tracer())
+            await broker.start()
+            gate = threading.Event()
+            # A busy worker the drain's shutdown(wait=True) must join.
+            broker._threads.submit(gate.wait, 30)
+
+            ticks = 0
+
+            async def heartbeat():
+                nonlocal ticks
+                while True:
+                    ticks += 1
+                    await asyncio.sleep(0.005)
+
+            beat = asyncio.ensure_future(heartbeat())
+            drainer = asyncio.ensure_future(broker.drain())
+            await asyncio.sleep(0.08)
+            ticks_while_draining = ticks
+            assert not drainer.done()  # still joining the busy worker
+            gate.set()
+            await drainer
+            beat.cancel()
+            return ticks_while_draining
+
+        ticks_while_draining = asyncio.run(scenario())
+        # A blocked loop yields ~0 ticks; a responsive one yields ~15.
+        assert ticks_while_draining >= 3
+
 
 class TestBrokerConfig:
     @pytest.mark.parametrize(

@@ -186,3 +186,32 @@ class TestGracefulDrain:
         handle.drain()
         with pytest.raises(OSError):
             raw_request(host, port, "GET", "/healthz")
+
+    def test_request_drain_retains_the_task_and_coalesces_repeats(self):
+        """Regression: flow-async-orphan-task in PlanningServer.start.
+
+        The SIGTERM handler used to ``loop.create_task(self.drain())``
+        and drop the handle; the loop only weakly references running
+        tasks, so the drain could be garbage-collected mid-shutdown.
+        ``request_drain`` must retain the task on the server and hand
+        the same task back for repeated signals.
+        """
+        from repro.serve.server import PlanningServer
+
+        async def scenario():
+            server = PlanningServer(ServerConfig(install_signal_handlers=False))
+            await server.start()
+            first = server.request_drain()
+            second = server.request_drain()  # SIGTERM arriving twice
+            assert second is first
+            assert server._drain_task is first
+            await first
+            # After the drain completes, a new request starts fresh
+            # (and is a no-op because the server is already drained).
+            third = server.request_drain()
+            assert third is not first
+            await third
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.draining
