@@ -16,6 +16,9 @@ Three pillars, one theme: *don't trust the solver, check it*.
 * :mod:`repro.checks.hashseed` — a cross-``PYTHONHASHSEED`` subprocess
   harness proving schedules, executor runs, and the flow report itself
   are process-independent.
+* :mod:`repro.checks.engine` — a differential harness proving the flat
+  CSR array backend byte-identical to the reference object engine
+  (rounds, digests, certificates) across the generator corpus.
 
 All of them are wired into ``repro-migrate check`` and the CI
 ``static-analysis`` job.
@@ -36,6 +39,12 @@ from repro.checks.certify import (
     verify_schedule,
 )
 from repro.checks.callgraph import CallGraph, build_call_graph
+from repro.checks.engine import (
+    EngineCase,
+    EngineReport,
+    check_engine_equivalence,
+    compare_backends,
+)
 from repro.checks.flow import (
     FLOW_RULES,
     FlowConfig,
@@ -65,6 +74,8 @@ __all__ = [
     "CertificationReport",
     "DeterminismError",
     "DeterminismReport",
+    "EngineCase",
+    "EngineReport",
     "Finding",
     "LB1Witness",
     "LB2Witness",
@@ -77,6 +88,8 @@ __all__ = [
     "certificate_to_json",
     "certify",
     "check_determinism",
+    "check_engine_equivalence",
+    "compare_backends",
     "lint_tree",
     "make_certificate",
     "parse_suppressions",

@@ -1,0 +1,238 @@
+"""Differential engine-equivalence harness (object vs array backend).
+
+The array backend (:mod:`repro.graphs.array_backend` and the compact
+kernels registered in :mod:`repro.pipeline.registry`) claims to be
+**byte-identical** to the reference object engine — not "equally
+valid", the *same bytes*: same rounds in the same order, same method
+labels, same canonical fingerprints, same lower-bound certificates.
+That claim is what lets the plan cache, the schedule fingerprints, and
+the checkpoint/resume contract stay backend-agnostic.
+
+This module proves the claim differentially instead of sampling it:
+every instance in the generator corpus (all families: even-capacity,
+bipartite, clique, hotspot, regular, mixed multi-component) is planned
+twice — ``backend="object"`` and ``backend="array"`` — under multiple
+seeds, and the harness requires
+
+* identical round lists (compared element by element, order included),
+* identical method labels,
+* identical SHA-256 digests of the canonical schedule JSON,
+* identical verified lower bounds and certificate JSON
+  (:mod:`repro.checks.certify` re-verifies both sides independently).
+
+Wired into ``repro-migrate check --engine`` and the CI
+``engine-bench-smoke`` job; the cross-``PYTHONHASHSEED`` battery
+(:mod:`repro.checks.hashseed`) additionally runs the comparison in
+fresh interpreters under different hash seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.checks.certify import certificate_to_json
+from repro.core.problem import MigrationInstance
+from repro.pipeline.planner import PlanResult, plan
+from repro.workloads.generators import (
+    bipartite_instance,
+    clique_instance,
+    hotspot_instance,
+    multi_component_instance,
+    random_instance,
+    regular_instance,
+)
+
+
+@dataclass(frozen=True)
+class EngineCase:
+    """One (instance, method, seed) comparison between the backends."""
+
+    name: str
+    ok: bool
+    rounds: int = 0
+    digest: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    cases: Tuple[EngineCase, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def render(self) -> str:
+        lines = []
+        for case in self.cases:
+            status = "ok" if case.ok else "MISMATCH"
+            suffix = (
+                f" ({case.detail})"
+                if case.detail and not case.ok
+                else f" rounds={case.rounds} sha256={case.digest[:12]}"
+                if case.ok
+                else ""
+            )
+            lines.append(f"  {case.name}: {status}{suffix}")
+        return "\n".join(lines)
+
+
+def schedule_digest(rounds: Sequence[Sequence[int]]) -> str:
+    """SHA-256 of the exact JSON form of a schedule's rounds.
+
+    Deliberately *not* order-normalized: the equivalence contract is
+    byte-identity, so the digest must see the rounds exactly as the
+    engine emitted them, within-round order included.
+    """
+    blob = json.dumps([list(rnd) for rnd in rounds], separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: The default differential corpus: every generator family, chosen so
+#: each registered compact kernel (even_optimal, bipartite_optimal,
+#: general) and the object-only fallbacks all get exercised.  Kept
+#: small enough to run in the CI smoke job; the factories are
+#: deterministic, so the corpus is too.
+DEFAULT_CORPUS: Tuple[Tuple[str, str, Callable[[], MigrationInstance]], ...] = (
+    (
+        "random/mixed-caps",
+        "auto",
+        lambda: random_instance(14, 80, capacities={1: 0.3, 2: 0.4, 4: 0.3}, seed=11),
+    ),
+    (
+        "random/all-even",
+        "auto",
+        lambda: random_instance(12, 70, uniform_capacity=2, seed=5),
+    ),
+    (
+        "random/general-forced",
+        "general",
+        lambda: random_instance(10, 60, capacities={1: 0.5, 3: 0.5}, seed=7),
+    ),
+    (
+        "bipartite/disk-addition",
+        "auto",
+        lambda: bipartite_instance(6, 4, 50, old_capacity=1, new_capacity=3, seed=3),
+    ),
+    (
+        "clique/figure-2",
+        "auto",
+        lambda: clique_instance(5, 4, capacity=1),
+    ),
+    (
+        "hotspot/hub-drain",
+        "auto",
+        lambda: hotspot_instance(12, 2, 60, seed=9),
+    ),
+    (
+        "regular/config-model",
+        "auto",
+        lambda: regular_instance(16, 6, capacity=2, seed=13),
+    ),
+    (
+        "multi-component/mixed-parity",
+        "auto",
+        lambda: multi_component_instance(3, disks_per_component=6,
+                                         items_per_component=25, seed=17),
+    ),
+)
+
+
+def compare_backends(
+    name: str,
+    instance: MigrationInstance,
+    method: str = "auto",
+    seed: int = 0,
+) -> EngineCase:
+    """Plan ``instance`` on both backends and compare everything.
+
+    Both plans run uncached and certified, so the comparison covers
+    rounds, method labels, the canonical schedule digest, and the
+    independently verified lower bound / certificate JSON.
+    """
+    obj = plan(instance, method=method, seed=seed, backend="object", certify=True)
+    arr = plan(instance, method=method, seed=seed, backend="array", certify=True)
+    problems = _diff_results(obj, arr)
+    if problems:
+        return EngineCase(name=name, ok=False, detail="; ".join(problems))
+    return EngineCase(
+        name=name,
+        ok=True,
+        rounds=obj.schedule.num_rounds,
+        digest=schedule_digest(obj.schedule.rounds),
+    )
+
+
+def _diff_results(obj: PlanResult, arr: PlanResult) -> List[str]:
+    problems: List[str] = []
+    o_rounds = obj.schedule.rounds
+    a_rounds = arr.schedule.rounds
+    if o_rounds != a_rounds:
+        problems.append(
+            f"rounds differ: object={len(o_rounds)} array={len(a_rounds)}, "
+            f"first divergence at {_first_round_divergence(o_rounds, a_rounds)}"
+        )
+    if obj.schedule.method != arr.schedule.method:
+        problems.append(
+            f"method labels differ: {obj.schedule.method!r} vs "
+            f"{arr.schedule.method!r}"
+        )
+    o_digest = schedule_digest(obj.schedule.rounds)
+    a_digest = schedule_digest(arr.schedule.rounds)
+    if o_digest != a_digest:
+        problems.append(f"schedule digests differ: {o_digest} vs {a_digest}")
+    if obj.lower_bound != arr.lower_bound:
+        problems.append(
+            f"lower bounds differ: {obj.lower_bound} vs {arr.lower_bound}"
+        )
+    if obj.certified_optimal != arr.certified_optimal:
+        problems.append(
+            f"certified_optimal differs: {obj.certified_optimal} vs "
+            f"{arr.certified_optimal}"
+        )
+    o_cert = (
+        certificate_to_json(obj.certificate) if obj.certificate is not None else None
+    )
+    a_cert = (
+        certificate_to_json(arr.certificate) if arr.certificate is not None else None
+    )
+    if o_cert != a_cert:
+        problems.append("lower-bound certificates differ")
+    if [c.method for c in obj.components] != [c.method for c in arr.components]:
+        problems.append("per-component method attribution differs")
+    return problems
+
+
+def _first_round_divergence(
+    a: List[List[int]], b: List[List[int]]
+) -> str:
+    for i in range(min(len(a), len(b))):
+        if a[i] != b[i]:
+            return f"round {i}"
+    return "round count"
+
+
+def check_engine_equivalence(
+    corpus: Optional[
+        Sequence[Tuple[str, str, Callable[[], MigrationInstance]]]
+    ] = None,
+    seeds: Sequence[int] = (0, 1),
+) -> EngineReport:
+    """Run the full differential battery over the corpus.
+
+    Every corpus entry is compared under every seed (seeds matter for
+    the randomized general solver: the two backends must agree on every
+    seed's schedule, not just one lucky draw).
+    """
+    cases: List[EngineCase] = []
+    for name, method, factory in corpus or DEFAULT_CORPUS:
+        for seed in seeds:
+            cases.append(
+                compare_backends(
+                    f"{name}/seed{seed}", factory(), method=method, seed=seed
+                )
+            )
+    return EngineReport(cases=tuple(cases))

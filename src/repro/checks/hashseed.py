@@ -117,6 +117,35 @@ sys.stdout.write(run_campaign(config).canonical_json())
 """
 
 
+#: Plans the same instance on the object and the array backend, fails
+#: if they diverge in-process, and prints the array schedule
+#: canonically — so the engine-equivalence contract is also checked
+#: *across* hash seeds (both backends must be hash-seed independent
+#: and agree with each other in every process).
+#: argv: num_disks num_items instance_seed method
+ENGINE_DRIVER = """\
+import json, sys
+from repro.pipeline import plan
+from repro.workloads import random_instance
+
+num_disks, num_items, instance_seed = map(int, sys.argv[1:4])
+method = sys.argv[4]
+instance = random_instance(
+    num_disks, num_items, capacities={1: 0.3, 2: 0.4, 4: 0.3},
+    seed=instance_seed,
+)
+obj = plan(instance, method=method, seed=0, backend="object").schedule
+arr = plan(instance, method=method, seed=0, backend="array").schedule
+if obj.rounds != arr.rounds or obj.method != arr.method:
+    sys.exit("array backend diverged from object backend")
+payload = {
+    "method": arr.method,
+    "rounds": [list(rnd) for rnd in arr.rounds],
+}
+sys.stdout.write(json.dumps(payload, sort_keys=True))
+"""
+
+
 #: Runs the whole-program flow analyzer over the installed package and
 #: prints the canonical report JSON — call-graph construction, effect
 #: fixpoint, contract checks, and finding order must all be independent
@@ -235,6 +264,12 @@ def check_determinism(
     checks.append(
         compare_across_hash_seeds(
             "plan/traced-vs-noop", TRACED_PLAN_DRIVER, ["10", "40", "5", "auto"],
+            hash_seeds,
+        )
+    )
+    checks.append(
+        compare_across_hash_seeds(
+            "engine/array-vs-object", ENGINE_DRIVER, ["12", "60", "7", "auto"],
             hash_seeds,
         )
     )

@@ -30,8 +30,9 @@ Subcommands:
   ``--validate`` checks each trace against the wire schema first.
 * ``fuzz`` — cross-validate all schedulers on randomized instances.
 * ``check`` — correctness tooling (:mod:`repro.checks`): determinism
-  linter, mypy strict gate, cross-``PYTHONHASHSEED`` harness, and
-  independent schedule certification (``--certify``).
+  linter, mypy strict gate, cross-``PYTHONHASHSEED`` harness, the
+  differential engine harness (``--engine``, array vs object backend),
+  and independent schedule certification (``--certify``).
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ from repro.cluster.engine import MigrationEngine
 from repro.core.problem import MigrationInstance
 from repro.core.solver import METHODS
 from repro.pipeline.planner import plan
+from repro.pipeline.registry import BACKENDS, DEFAULT_BACKEND
 from repro.workloads.generators import random_instance
 from repro.workloads.scenarios import (
     decommission_scenario,
@@ -152,6 +154,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         workers=args.workers,
         certify=args.certify,
         tracer=tracer,
+        backend=args.backend,
     )
     if store is not None:
         print(
@@ -176,12 +179,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"  {stage:10s} {result.stage_timings[stage] * 1e3:9.3f} ms")
     if result.components:
         table = Table(
-            "components", ["#", "disks", "items", "method", "rounds", "cached"]
+            "components",
+            ["#", "disks", "items", "method", "backend", "rounds", "cached"],
         )
         for comp in result.components:
             table.add_row(
                 comp.index, comp.num_disks, comp.num_items,
-                comp.method, comp.rounds, "yes" if comp.cached else "no",
+                comp.method, comp.backend, comp.rounds,
+                "yes" if comp.cached else "no",
             )
         print(table.render())
     if args.certify:
@@ -189,6 +194,30 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             f"verified lower bound: {result.lower_bound}; "
             f"certified optimal: {result.certified_optimal}"
         )
+    if args.report:
+        import json
+
+        report = {
+            "method": schedule.method,
+            "rounds": schedule.num_rounds,
+            "backend": args.backend,
+            "components": [
+                {
+                    "index": comp.index,
+                    "disks": comp.num_disks,
+                    "items": comp.num_items,
+                    "method": comp.method,
+                    "backend": comp.backend,
+                    "rounds": comp.rounds,
+                    "cached": comp.cached,
+                }
+                for comp in result.components
+            ],
+        }
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"plan report written to {args.report}")
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
     return 0
@@ -598,12 +627,14 @@ CHECK_EXIT_TYPES = 4
 CHECK_EXIT_DETERMINISM = 5
 CHECK_EXIT_EFFECTS = 6
 CHECK_EXIT_CERTIFY = 7
+CHECK_EXIT_ENGINE = 8
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the repro.checks battery.
 
-    Gates run in a fixed order (lint → types → determinism → effects);
+    Gates run in a fixed order (lint → types → determinism → effects →
+    engine);
     every requested gate runs even after a failure, and the exit code
     is the first failing gate's documented code.  ``--json`` replaces
     the human output with one machine-readable summary of all gates.
@@ -617,6 +648,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         certificate_to_json,
         certify,
         check_determinism,
+        check_engine_equivalence,
         lint_tree,
         make_certificate,
         run_type_gate,
@@ -668,7 +700,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(json.dumps(summary, sort_keys=True, indent=2))
         return exit_code
 
-    run_all = not (args.lint or args.types or args.determinism or args.effects)
+    run_all = not (
+        args.lint or args.types or args.determinism or args.effects or args.engine
+    )
     root = Path(args.root) if args.root else None
 
     if args.lint or run_all:
@@ -746,6 +780,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
             if not flow_report.ok:
                 gate_failed(CHECK_EXIT_EFFECTS)
 
+    if args.engine or run_all:
+        engine_report = check_engine_equivalence()
+        if human:
+            print("engine (array vs object backend):")
+            print(engine_report.render())
+        summary["gates"]["engine"] = {
+            "ok": engine_report.ok,
+            "cases": len(engine_report.cases),
+        }
+        if not engine_report.ok:
+            gate_failed(CHECK_EXIT_ENGINE)
+
     summary["ok"] = exit_code == CHECK_EXIT_OK
     summary["exit_code"] = exit_code
     if not human:
@@ -783,6 +829,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat the input as a JSON instance (see `generate`)",
     )
     p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                        help="engine backend for the solve stage: 'array' "
+                             "runs the flat-CSR kernels where a solver has "
+                             "one, 'object' forces the reference engine; "
+                             "schedules are byte-identical "
+                             f"(default {DEFAULT_BACKEND})")
+    p_plan.add_argument("--report", metavar="PATH", default=None,
+                        help="write a JSON plan report: rounds, per-component "
+                             "method/backend attribution, cache hits")
     p_plan.add_argument("--parallel", action="store_true",
                         help="solve components in a process pool")
     p_plan.add_argument("--workers", type=int, default=None,
@@ -983,6 +1038,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run only the whole-program flow analyzer "
                               "(effect inference, solver contracts, "
                               "async-safety, pool-boundary rules)")
+    p_check.add_argument("--engine", action="store_true",
+                         help="run only the differential engine harness "
+                              "(array backend byte-identical to the "
+                              "object engine across the generator corpus)")
     p_check.add_argument("--fast", action="store_true",
                          help="skip the (slow) executor determinism case")
     p_check.add_argument("--json", action="store_true",

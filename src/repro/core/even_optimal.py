@@ -25,11 +25,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.core.errors import InvalidInstanceError, SolverError
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
-from repro.graphs.euler import euler_orientation
-from repro.graphs.matching import InfeasibleMatchingError, degree_constrained_subgraph
+from repro.graphs.array_backend import CompactInstance
+from repro.graphs.euler import compact_euler_orientation, euler_orientation
+from repro.graphs.matching import (
+    InfeasibleMatchingError,
+    QuotaPeeler,
+    degree_constrained_subgraph,
+)
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
 
@@ -83,6 +90,138 @@ def even_optimal_schedule(instance: MigrationInstance) -> MigrationSchedule:
 
     schedule = MigrationSchedule(rounds, method="even_optimal")
     return schedule
+
+
+def even_optimal_schedule_compact(ci: CompactInstance) -> MigrationSchedule:
+    """Array-backend :func:`even_optimal_schedule` (byte-identical).
+
+    Same five steps, mirrored onto flat arrays:
+
+    1. Augmentation is arithmetic — loop counts and deficiency flags
+       come straight off the degree/capacity arrays, and the augmented
+       CSR rows are emitted in exactly the order the object engine's
+       ``add_edge`` calls would have produced (original row, then the
+       node's self-loops, then its pairing edge).
+    2. The Euler walk runs over those rows
+       (:func:`compact_euler_orientation`), reproducing the object
+       circuit discovery order.
+    3. The oriented bipartite edge list is the orientation order.
+    4. The ``Δ'`` matching peels run on one persistent
+       :class:`~repro.graphs.matching.QuotaPeeler` instead of a
+       freshly built ``FlowNetwork`` per peel.
+    5. Rounds lift augmented edge indices ``< num_edges`` (the real
+       edges) back to edge ids.
+    """
+    if not ci.all_even():
+        capacities = ci.source.capacities
+        odd = [v for v, c in capacities.items() if c % 2 == 1]
+        raise InvalidInstanceError(
+            f"even-capacity algorithm requires even c_v; odd at {odd[:5]}"
+        )
+    graph = ci.graph
+    m = graph.num_edges
+    if m == 0:
+        return MigrationSchedule([], method="even_optimal")
+
+    delta_prime = ci.delta_prime()
+    caps = ci.capacities
+    n = graph.num_nodes
+
+    # Step 1: augment to c_v * delta' degrees, arithmetically.
+    loops: List[int] = []
+    deficient: List[int] = []
+    for v in range(n):
+        target = caps[v] * delta_prime
+        deg = graph.degree[v]
+        if deg > target:
+            raise SolverError(
+                f"degree {deg} of {graph.nodes[v]!r} exceeds c_v·Δ' = {target}"
+            )
+        loops.append((target - deg) // 2)
+        if (target - deg) % 2 == 1:
+            deficient.append(v)
+    if len(deficient) % 2 != 0:
+        raise SolverError("odd number of deficient nodes; parity argument violated")
+
+    # Augmented edge numbering: per-node self-loops in node order, then
+    # pairing edges — the exact creation order of _augment_to_regular.
+    pair_of = [-1] * n
+    pair_edge = [-1] * n
+    aug_edges = m
+    for v in range(n):
+        aug_edges += loops[v]
+    for i in range(0, len(deficient), 2):
+        a, b = deficient[i], deficient[i + 1]
+        pair_of[a] = b
+        pair_of[b] = a
+        pair_edge[a] = aug_edges
+        pair_edge[b] = aug_edges
+        aug_edges += 1
+
+    # Augmented CSR rows: original row ++ own loops ++ pairing edge.
+    indptr: List[int] = [0]
+    inc_edge: List[int] = []
+    inc_other: List[int] = []
+    degree: List[int] = []
+    src_indptr, src_inc_edge, src_inc_other = (
+        graph.indptr,
+        graph.inc_edge,
+        graph.inc_other,
+    )
+    loop_base = m
+    for v in range(n):
+        lo, hi = src_indptr[v], src_indptr[v + 1]
+        inc_edge.extend(src_inc_edge[lo:hi])
+        inc_other.extend(src_inc_other[lo:hi])
+        for k in range(loops[v]):
+            inc_edge.append(loop_base + k)
+            inc_other.append(v)
+        loop_base += loops[v]
+        if pair_edge[v] >= 0:
+            inc_edge.append(pair_edge[v])
+            inc_other.append(pair_of[v])
+        indptr.append(len(inc_edge))
+        degree.append(caps[v] * delta_prime)
+
+    # Steps 2-3: orient along Euler circuits; the orientation insertion
+    # order is the bipartite edge list order.
+    order, tail, head = compact_euler_orientation(
+        indptr, inc_edge, inc_other, degree, aug_edges
+    )
+
+    half = [c // 2 for c in caps]
+    peeler = QuotaPeeler(
+        half, half, [tail[e] for e in order], [head[e] for e in order]
+    )
+
+    # Step 4: peel delta' matchings on the persistent network.
+    # ``remaining`` stays an ascending numpy index array: peel returns
+    # ascending positions, so ``remaining[picked]`` is already the
+    # sorted picked-global order the object loop produces.
+    remaining = np.arange(len(order), dtype=np.int64)
+    rounds: List[List[EdgeId]] = []
+    edge_ids = graph.edge_ids
+    for step in range(delta_prime):
+        try:
+            picked = peeler.peel(remaining)
+        except InfeasibleMatchingError as exc:
+            raise SolverError(
+                f"matching peel {step}/{delta_prime} infeasible: {exc}"
+            ) from exc
+        picked_np = np.asarray(picked, dtype=np.int64)
+        rnd: List[EdgeId] = []
+        for i in remaining[picked_np].tolist():
+            e = order[i]
+            if e < m:
+                rnd.append(edge_ids[e])
+        rounds.append(rnd)
+        keep = np.ones(remaining.shape[0], dtype=bool)
+        keep[picked_np] = False
+        remaining = remaining[keep]
+    if remaining.size:
+        raise SolverError(f"{remaining.size} augmented edges left after Δ' peels")
+
+    return MigrationSchedule(rounds, method="even_optimal")
 
 
 def _augment_to_regular(

@@ -38,13 +38,18 @@ from repro.core.lower_bounds import lower_bound
 from repro.core.orbits import (
     OrbitReport,
     bad_edge_groups,
+    compact_bad_edge_groups,
+    compact_is_delta_witness,
+    compact_is_gamma_witness,
+    compact_uncolored_components,
     is_delta_witness,
     is_gamma_witness,
     uncolored_components,
 )
 from repro.core.problem import MigrationInstance
-from repro.core.recolor import ColoringState
+from repro.core.recolor import ArrayColoringState, ColoringState
 from repro.core.schedule import MigrationSchedule
+from repro.graphs.array_backend import CompactInstance, lift_coloring
 from repro.graphs.coloring.vizing import vizing_coloring
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
@@ -114,6 +119,51 @@ def general_schedule(
     return schedule
 
 
+def general_schedule_compact(
+    ci: CompactInstance,
+    seed: int = 0,
+    stats: Optional[GeneralSolverStats] = None,
+) -> MigrationSchedule:
+    """Array-backend :func:`general_schedule` (byte-identical).
+
+    Phase 1 runs entirely on :class:`ArrayColoringState` — the hot
+    sweep/flip loop touches only dense int arrays and small dicts of
+    ints.  The cold paths deliberately stay on the reference engine:
+    the lower bound, the Phase 2 residual Vizing pass (a few dozen
+    edges by Corollary 5.1), and the final validation all run against
+    ``ci.source``.  The lifted Phase 1 coloring dict preserves the
+    assignment history order, so ``from_coloring`` sees the same key
+    sequence as the object engine and the schedules match byte for
+    byte.
+    """
+    stats = stats if stats is not None else GeneralSolverStats()
+    if ci.graph.num_edges == 0:
+        return MigrationSchedule([], method="general")
+
+    lb = lower_bound(ci.source)
+    stats.lower_bound = lb
+    epsilon = 1.0 / math.sqrt(lb) if lb > 0 else 1.0
+    q0 = max(lb, 1)
+    stats.initial_colors = q0
+
+    state = ArrayColoringState(ci.graph, ci.capacities, q0, seed=seed)
+    residual_ids = _phase1_compact(ci, state, epsilon, stats)
+    stats.phase1_colors = state.q
+
+    coloring: Dict[EdgeId, int] = lift_coloring(ci.graph, state.color)
+    if residual_ids is not None:
+        residual = ci.source.graph.edge_subgraph(residual_ids)
+        phase2 = _phase2_color_residual(ci.source, residual)
+        stats.phase2_edges = residual.num_edges
+        stats.phase2_colors = (max(phase2.values()) + 1) if phase2 else 0
+        for eid, c in phase2.items():
+            coloring[eid] = state.q + c
+
+    schedule = MigrationSchedule.from_coloring(coloring, method="general")
+    schedule.validate(ci.source)
+    return schedule
+
+
 # ----------------------------------------------------------------------
 # Phase 1
 # ----------------------------------------------------------------------
@@ -158,8 +208,11 @@ def _phase1(
         all_hard = all(r.kind == "hard" for r in reports)
         small = all(len(r.nodes) <= component_cap for r in reports)
         if all_hard and not bad and small:
-            # A collection of hard orbits: ship to Phase 2.
-            return instance.graph.edge_subgraph(state.uncolored)
+            # A collection of hard orbits: ship to Phase 2.  Sorted so
+            # the residual graph's edge enumeration order (which feeds
+            # Phase 2's round-robin node splitting) is a function of
+            # the uncolored id *set*, not of set-iteration order.
+            return instance.graph.edge_subgraph(sorted(state.uncolored))
 
         # Otherwise the stall plays the role of a witness: grow the
         # palette (Lemma 5.4 step 3b).  Record whether a formal
@@ -171,6 +224,59 @@ def _phase1(
         if state.q > hard_palette_cap:
             # Unreachable in theory (first-fit succeeds below the cap);
             # loud guard instead of a silent spin.
+            raise AssertionError(
+                f"palette grew past the 2Δ'-1 safety cap ({hard_palette_cap})"
+            )
+    return None
+
+
+def _phase1_compact(
+    ci: CompactInstance,
+    state: ArrayColoringState,
+    epsilon: float,
+    stats: GeneralSolverStats,
+) -> Optional[List[EdgeId]]:
+    """Array mirror of :func:`_phase1`.
+
+    Returns the sorted edge *ids* of the residual for Phase 2 (the
+    object engine's ``sorted(state.uncolored)`` argument to
+    ``edge_subgraph``), or None if Phase 1 colored everything.
+    """
+    component_cap = max(4, math.ceil(2 + 1.0 / epsilon))
+    hard_palette_cap = max(2 * ci.delta_prime() - 1, state.q)
+
+    order = state.uncolored_in_id_order()
+    while state.uncolored:
+        stats.sweeps += 1
+        progress = False
+        for e in list(order):
+            if e not in state.uncolored:
+                continue
+            stats.flips_attempted += 1
+            if state.try_color_edge(e):
+                progress = True
+        order = state.uncolored_in_id_order()
+        if not state.uncolored:
+            return None
+        if progress:
+            continue
+
+        reports = compact_uncolored_components(state)
+        bad = compact_bad_edge_groups(state)
+        all_hard = all(r.kind == "hard" for r in reports)
+        small = all(len(r.nodes) <= component_cap for r in reports)
+        if all_hard and not bad and small:
+            edge_ids = ci.graph.edge_ids
+            return sorted(edge_ids[e] for e in state.uncolored)
+
+        if any(
+            compact_is_delta_witness(state, r) or compact_is_gamma_witness(state, r)
+            for r in reports
+        ):
+            stats.witnessed_growths += 1
+        state.add_color()
+        stats.palette_growths += 1
+        if state.q > hard_palette_cap:
             raise AssertionError(
                 f"palette grew past the 2Δ'-1 safety cap ({hard_palette_cap})"
             )

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.recolor import ColoringState
+from repro.core.recolor import ArrayColoringState, ColoringState
 from repro.graphs.multigraph import EdgeId, Node
 
 
@@ -181,6 +181,164 @@ def is_gamma_witness(state: ColoringState, report: OrbitReport) -> bool:
         return True
     cap_sum = sum(state.cap[v] for v in report.nodes)
     # All colors are checked and the boolean verdict is order-independent.
+    for c in free:  # repro: allow-set-iter
+        used = sum(state.count(v, c) for v in report.nodes)
+        if used < cap_sum - 1:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Array backend (byte-identical mirrors over ArrayColoringState).
+# Reports carry node *indices* in ``nodes`` and edge *indices* (sorted
+# by edge id, matching the object reports' id-sorted edge lists) in
+# ``edges``; the general driver only consumes ``kind`` and the node
+# count, which agree with the object reports by construction.
+# ----------------------------------------------------------------------
+
+def compact_uncolored_components(state: ArrayColoringState) -> List[OrbitReport]:
+    """Array mirror of :func:`uncolored_components`."""
+    graph = state.graph
+    edge_u, edge_v = graph.edge_u, graph.edge_v
+    adj: Dict[int, List[Tuple[int, int]]] = {}
+    for e in state.uncolored_in_id_order():
+        u, v = edge_u[e], edge_v[e]
+        adj.setdefault(u, []).append((e, v))
+        adj.setdefault(v, []).append((e, u))
+
+    seen: Set[int] = set()
+    reports: List[OrbitReport] = []
+    for start in adj:
+        if start in seen:
+            continue
+        nodes: Set[int] = {start}
+        edges: Set[int] = set()
+        stack = [start]
+        seen.add(start)
+        while stack:
+            x = stack.pop()
+            for e, y in adj.get(x, ()):  # noqa: B023 - local structure
+                edges.add(e)
+                if y not in seen:
+                    seen.add(y)
+                    nodes.add(y)
+                    stack.append(y)
+        reports.append(
+            _compact_classify(
+                state, nodes, sorted(edges, key=graph.edge_ids.__getitem__)
+            )
+        )
+    return reports
+
+
+def _compact_classify(
+    state: ArrayColoringState, nodes: Set[int], edges: List[int]
+) -> OrbitReport:
+    strong = compact_find_strongly_missing(state, nodes)
+    if strong is not None:
+        return OrbitReport(
+            nodes, edges, "balancing", strong_node=strong,
+            has_bad_edges=_compact_has_bad_edges(state, edges),
+        )
+    pair = compact_find_shared_lightly_missing(state, nodes)
+    if pair is not None:
+        return OrbitReport(
+            nodes, edges, "color", light_pair=pair,
+            has_bad_edges=_compact_has_bad_edges(state, edges),
+        )
+    return OrbitReport(
+        nodes, edges, "hard", has_bad_edges=_compact_has_bad_edges(state, edges)
+    )
+
+
+def compact_find_strongly_missing(
+    state: ArrayColoringState, nodes: Set[int]
+) -> Optional[Tuple[int, int]]:
+    """Array mirror of :func:`find_strongly_missing`.
+
+    ``sorted(nodes, key=repr)`` becomes a sort by cached repr rank —
+    the same order whenever node reprs are unique (the fingerprint
+    precondition).
+    """
+    rank = state.graph.repr_rank()
+    for v in sorted(nodes, key=rank.__getitem__):
+        for c in range(state.q):
+            if state.is_strongly_missing(v, c):
+                return (v, c)
+    return None
+
+
+def compact_find_shared_lightly_missing(
+    state: ArrayColoringState, nodes: Set[int]
+) -> Optional[Tuple[int, int, int]]:
+    """Array mirror of :func:`find_shared_lightly_missing`."""
+    rank = state.graph.repr_rank()
+    owner: Dict[int, int] = {}
+    for v in sorted(nodes, key=rank.__getitem__):
+        for c in range(state.q):
+            if state.is_lightly_missing(v, c):
+                if c in owner and owner[c] != v:
+                    return (owner[c], v, c)
+                owner.setdefault(c, v)
+    return None
+
+
+def _compact_has_bad_edges(state: ArrayColoringState, edges: List[int]) -> bool:
+    graph = state.graph
+    rank = graph.repr_rank()
+    pairs: Set[Tuple[int, int]] = set()
+    for e in edges:
+        u, v = graph.edge_u[e], graph.edge_v[e]
+        key = (u, v) if rank[u] <= rank[v] else (v, u)
+        if key in pairs:
+            return True
+        pairs.add(key)
+    return False
+
+
+def compact_bad_edge_groups(state: ArrayColoringState) -> List[List[int]]:
+    """Array mirror of :func:`bad_edge_groups` (edge indices)."""
+    graph = state.graph
+    rank = graph.repr_rank()
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for e in state.uncolored_in_id_order():
+        u, v = graph.edge_u[e], graph.edge_v[e]
+        key = (u, v) if rank[u] <= rank[v] else (v, u)
+        groups.setdefault(key, []).append(e)
+    return [g for g in groups.values() if len(g) > 1]
+
+
+def compact_free_colors_of_orbit(
+    state: ArrayColoringState, report: OrbitReport
+) -> Set[int]:
+    """Array mirror of :func:`free_colors_of_orbit` (set result)."""
+    used: Set[int] = set()
+    graph = state.graph
+    # Set iteration below: the union being built is order-independent.
+    for v in report.nodes:  # repro: allow-set-iter
+        for c, eids in state.edges_at[v].items():
+            for e in eids:
+                other = graph.other_endpoint(e, v)
+                if other in report.nodes:
+                    used.add(c)
+    return set(range(state.q)) - used
+
+
+def compact_is_delta_witness(state: ArrayColoringState, report: OrbitReport) -> bool:
+    """Array mirror of :func:`is_delta_witness` (boolean verdict)."""
+    free = compact_free_colors_of_orbit(state, report)
+    for v in report.nodes:  # repro: allow-set-iter
+        if not any(state.is_missing(v, c) for c in free):
+            return True
+    return False
+
+
+def compact_is_gamma_witness(state: ArrayColoringState, report: OrbitReport) -> bool:
+    """Array mirror of :func:`is_gamma_witness` (boolean verdict)."""
+    free = compact_free_colors_of_orbit(state, report)
+    if not free:
+        return True
+    cap_sum = sum(state.cap[v] for v in report.nodes)
     for c in free:  # repro: allow-set-iter
         used = sum(state.count(v, c) for v in report.nodes)
         if used < cap_sum - 1:

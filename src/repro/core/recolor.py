@@ -22,9 +22,10 @@ here:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ScheduleValidationError
+from repro.graphs.array_backend import CompactGraph
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
 # Budget of (a, b) pairs tried by try_color_edge before giving up.
@@ -57,8 +58,16 @@ class ColoringState:
         self.color: Dict[EdgeId, int] = {}
         # counts[v][c]: colored edge-ends of color c at v.
         self.counts: Dict[Node, Dict[int, int]] = {v: {} for v in graph.nodes}
-        # edges_at[v][c]: the edge ids realizing counts[v][c].
-        self.edges_at: Dict[Node, Dict[int, Set[EdgeId]]] = {v: {} for v in graph.nodes}
+        # edges_at[v][c]: the edge ids realizing counts[v][c], as an
+        # insertion-ordered dict used as an ordered set.  Iteration
+        # order shapes which edge an ab-walk flips, so it must be a
+        # deterministic function of the assignment history — dict
+        # insertion order is exactly that, whereas a set of ints
+        # iterates in a hash-table order that depends on value
+        # distribution and is unmirrorable by the array backend.
+        self.edges_at: Dict[Node, Dict[int, Dict[EdgeId, None]]] = {
+            v: {} for v in graph.nodes
+        }
         self.uncolored: Set[EdgeId] = set(graph.edge_ids())
         self._rng = random.Random(seed)
 
@@ -116,11 +125,11 @@ class ColoringState:
 
     def _bump(self, v: Node, c: int, delta: int, eid: EdgeId, adding: bool) -> None:
         self.counts[v][c] = self.counts[v].get(c, 0) + delta
-        slot = self.edges_at[v].setdefault(c, set())
+        slot = self.edges_at[v].setdefault(c, {})
         if adding:
-            slot.add(eid)
+            slot[eid] = None
         else:
-            slot.discard(eid)
+            slot.pop(eid, None)
 
     def assign(self, eid: EdgeId, c: int) -> None:
         """Color uncolored edge ``eid`` with ``c`` (capacity-checked)."""
@@ -334,6 +343,287 @@ class ColoringState:
                 if n != self.count(v, c):
                     raise ScheduleValidationError(
                         f"count drift at ({v!r}, {c}): cached {self.count(v, c)}, real {n}"
+                    )
+
+    def colors_used(self) -> int:
+        return len(set(self.color.values()))
+
+
+class ArrayColoringState:
+    """Array-backend mirror of :class:`ColoringState` (byte-identical).
+
+    Nodes and edges are the dense indices of a
+    :class:`~repro.graphs.array_backend.CompactGraph`.  Every dict the
+    object engine keys by node label or edge id is keyed here by
+    index, and because the compact driver performs the exact same
+    sequence of assigns / unassigns / recolors, the insertion orders
+    that shape flip walks (``edges_at`` slot order, ``new_color_of``
+    application order) are reproduced move for move.  ``color`` stays a
+    real dict — its insertion order *is* the assignment history, which
+    the driver lifts into the coloring dict the object engine would
+    have built.  The RNG is seeded identically and consumed by the same
+    shuffle calls, so tie-breaking matches too.
+    """
+
+    def __init__(
+        self,
+        graph: CompactGraph,
+        capacities: Sequence[int],
+        num_colors: int,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.cap: List[int] = list(capacities)
+        self.q = num_colors
+        self.color: Dict[int, int] = {}
+        # counts[v][c]: colored edge-ends of color c at node index v.
+        self.counts: List[Dict[int, int]] = [{} for _ in range(graph.num_nodes)]
+        # edges_at[v][c]: insertion-ordered dict-as-set of edge indices,
+        # mirroring ColoringState.edges_at slot for slot.
+        self.edges_at: List[Dict[int, Dict[int, None]]] = [
+            {} for _ in range(graph.num_nodes)
+        ]
+        self.uncolored: Set[int] = set(range(graph.num_edges))
+        self._rng = random.Random(seed)
+
+    def uncolored_in_id_order(self) -> List[int]:
+        """Uncolored edge indices sorted by edge *id*.
+
+        The object engine sweeps ``sorted(state.uncolored)`` — edge ids
+        ascending.  A component subgraph's enumeration order preserves
+        ids but need not be ascending in them, so index order and id
+        order can differ; sorting by the id key reproduces the object
+        sweep exactly.
+        """
+        return sorted(self.uncolored, key=self.graph.edge_ids.__getitem__)
+
+    # ------------------------------------------------------------------
+    # predicates (Definition 5.1)
+    # ------------------------------------------------------------------
+    def count(self, v: int, c: int) -> int:
+        return self.counts[v].get(c, 0)
+
+    def is_missing(self, v: int, c: int) -> bool:
+        return self.count(v, c) < self.cap[v]
+
+    def is_strongly_missing(self, v: int, c: int) -> bool:
+        return self.count(v, c) < self.cap[v] - 1
+
+    def is_lightly_missing(self, v: int, c: int) -> bool:
+        return self.count(v, c) == self.cap[v] - 1
+
+    def is_saturated(self, v: int, c: int) -> bool:
+        return self.count(v, c) >= self.cap[v]
+
+    def missing_colors(self, v: int) -> List[int]:
+        return [c for c in range(self.q) if self.is_missing(v, c)]
+
+    def strongly_missing_colors(self, v: int) -> List[int]:
+        return [c for c in range(self.q) if self.is_strongly_missing(v, c)]
+
+    def common_missing_color(self, u: int, v: int) -> Optional[int]:
+        if u == v:
+            for c in range(self.q):
+                if self.is_strongly_missing(u, c):
+                    return c
+            return None
+        for c in range(self.q):
+            if self.is_missing(u, c) and self.is_missing(v, c):
+                return c
+        return None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_color(self) -> int:
+        self.q += 1
+        return self.q - 1
+
+    def _bump(self, v: int, c: int, delta: int, e: int, adding: bool) -> None:
+        self.counts[v][c] = self.counts[v].get(c, 0) + delta
+        slot = self.edges_at[v].setdefault(c, {})
+        if adding:
+            slot[e] = None
+        else:
+            slot.pop(e, None)
+
+    def assign(self, e: int, c: int) -> None:
+        if e in self.color:
+            raise ScheduleValidationError(
+                f"edge {self.graph.edge_ids[e]} already colored"
+            )
+        u, v = self.graph.edge_u[e], self.graph.edge_v[e]
+        need = 2 if u == v else 1
+        if self.count(u, c) + need > self.cap[u] or (
+            u != v and self.count(v, c) + 1 > self.cap[v]
+        ):
+            raise ScheduleValidationError(
+                f"assigning color {c} to edge {self.graph.edge_ids[e]} "
+                f"violates a constraint"
+            )
+        self.color[e] = c
+        self.uncolored.discard(e)
+        if u == v:
+            self._bump(u, c, 2, e, adding=True)
+        else:
+            self._bump(u, c, 1, e, adding=True)
+            self._bump(v, c, 1, e, adding=True)
+
+    def unassign(self, e: int) -> int:
+        c = self.color.pop(e)
+        self.uncolored.add(e)
+        u, v = self.graph.edge_u[e], self.graph.edge_v[e]
+        if u == v:
+            self._bump(u, c, -2, e, adding=False)
+        else:
+            self._bump(u, c, -1, e, adding=False)
+            self._bump(v, c, -1, e, adding=False)
+        return c
+
+    def _recolor(self, e: int, new: int) -> None:
+        old = self.color[e]
+        u, v = self.graph.edge_u[e], self.graph.edge_v[e]
+        if u == v:
+            self._bump(u, old, -2, e, adding=False)
+            self._bump(u, new, 2, e, adding=True)
+        else:
+            self._bump(u, old, -1, e, adding=False)
+            self._bump(v, old, -1, e, adding=False)
+            self._bump(u, new, 1, e, adding=True)
+            self._bump(v, new, 1, e, adding=True)
+        self.color[e] = new
+
+    # ------------------------------------------------------------------
+    # ab-path flips (Definition 5.2 / Figure 4)
+    # ------------------------------------------------------------------
+    def attempt_flip(self, start: int, from_color: int, to_color: int) -> bool:
+        if from_color == to_color:
+            return False
+        if not self.is_missing(start, to_color):
+            return False
+        slots = self.edges_at[start].get(from_color)
+        if not slots:
+            return False
+
+        cap = self.cap
+        graph = self.graph
+        walk_len_cap = _WALK_CAP_FACTOR * max(1, graph.num_edges)
+        pending: Dict[Tuple[int, int], int] = {}
+        new_color_of: Dict[int, int] = {}
+        used: Set[int] = set()
+
+        def eff(v: int, c: int) -> int:
+            return self.count(v, c) + pending.get((v, c), 0)
+
+        def flip_edge(e: int, old: int, new: int, x: int, y: int) -> None:
+            new_color_of[e] = new
+            used.add(e)
+            if x == y:
+                pending[(x, old)] = pending.get((x, old), 0) - 2
+                pending[(x, new)] = pending.get((x, new), 0) + 2
+            else:
+                for node in (x, y):
+                    pending[(node, old)] = pending.get((node, old), 0) - 1
+                    pending[(node, new)] = pending.get((node, new), 0) + 1
+
+        def pick_edge(v: int, want: int, target: int) -> Optional[int]:
+            best: Optional[int] = None
+            for e in self.edges_at[v].get(want, ()):  # committed color
+                if e in used or new_color_of.get(e, want) != want:
+                    continue
+                other = graph.other_endpoint(e, v)
+                if other != v and eff(other, target) < cap[other]:
+                    return e
+                if best is None:
+                    best = e
+            return best
+
+        cur = start
+        f_from, f_to = from_color, to_color
+        steps = 0
+        while True:
+            steps += 1
+            if steps > walk_len_cap:
+                return False
+            e = pick_edge(cur, f_from, f_to)
+            if e is None:
+                return False
+            other = graph.other_endpoint(e, cur)
+            if other == cur:
+                # Mirror of the object engine: self-loop flips fail the
+                # walk (see ColoringState.attempt_flip).
+                return False
+            flip_edge(e, f_from, f_to, cur, other)
+            if eff(other, f_to) <= cap[other]:
+                break
+            cur = other
+            f_from, f_to = f_to, f_from
+
+        for (v, c), _d in pending.items():
+            if eff(v, c) > cap[v] or eff(v, c) < 0:
+                return False
+        for e, new in new_color_of.items():
+            self._recolor(e, new)
+        return True
+
+    def try_color_edge(self, e: int, pair_budget: int = DEFAULT_PAIR_BUDGET) -> bool:
+        u, v = self.graph.edge_u[e], self.graph.edge_v[e]
+        c = self.common_missing_color(u, v)
+        if c is not None:
+            self.assign(e, c)
+            return True
+        if u == v:
+            return False
+
+        miss_u = self.missing_colors(u)
+        miss_v = self.missing_colors(v)
+        if not miss_u or not miss_v:
+            return False
+        pairs = [(a, b) for a in miss_u for b in miss_v if a != b]
+        self._rng.shuffle(pairs)
+        for a, b in pairs[:pair_budget]:
+            if self.is_saturated(v, a) and self.attempt_flip(v, a, b):
+                c = self.common_missing_color(u, v)
+                if c is not None:
+                    self.assign(e, c)
+                    return True
+            if self.is_saturated(u, b) and self.attempt_flip(u, b, a):
+                c = self.common_missing_color(u, v)
+                if c is not None:
+                    self.assign(e, c)
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def validate(self, require_complete: bool = False) -> None:
+        if require_complete and self.uncolored:
+            raise ScheduleValidationError(f"{len(self.uncolored)} edges uncolored")
+        graph = self.graph
+        fresh: List[Dict[int, int]] = [{} for _ in range(graph.num_nodes)]
+        for e, c in self.color.items():
+            u, v = graph.edge_u[e], graph.edge_v[e]
+            if not 0 <= c < self.q:
+                raise ScheduleValidationError(
+                    f"edge {graph.edge_ids[e]} has color {c} outside palette"
+                )
+            if u == v:
+                fresh[u][c] = fresh[u].get(c, 0) + 2
+            else:
+                fresh[u][c] = fresh[u].get(c, 0) + 1
+                fresh[v][c] = fresh[v].get(c, 0) + 1
+        for v, per_color in enumerate(fresh):
+            for c, n in per_color.items():
+                if n > self.cap[v]:
+                    raise ScheduleValidationError(
+                        f"node {graph.nodes[v]!r} has {n} edges of color {c} "
+                        f"but c_v={self.cap[v]}"
+                    )
+                if n != self.count(v, c):
+                    raise ScheduleValidationError(
+                        f"count drift at ({graph.nodes[v]!r}, {c}): "
+                        f"cached {self.count(v, c)}, real {n}"
                     )
 
     def colors_used(self) -> int:

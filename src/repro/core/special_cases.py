@@ -23,14 +23,17 @@ These beat the general Section V algorithm's guarantee (they are
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
+from repro.graphs.array_backend import CompactInstance
 from repro.graphs.coloring.bipartite import (
     NotBipartiteError,
     bipartite_coloring,
     bipartite_sides,
+    compact_bipartite_sides,
+    compact_konig_coloring,
 )
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
@@ -91,6 +94,55 @@ def bipartite_optimal_schedule(instance: MigrationInstance) -> MigrationSchedule
     schedule = MigrationSchedule.from_coloring(original, method="bipartite_optimal")
     schedule.validate(instance)
     assert schedule.num_rounds == instance.delta_prime(), (
+        "König contraction must land exactly on Δ'"
+    )
+    return schedule
+
+
+def bipartite_optimal_schedule_compact(ci: CompactInstance) -> MigrationSchedule:
+    """Array-backend :func:`bipartite_optimal_schedule` (byte-identical).
+
+    The round-robin node split becomes arithmetic on the capacity
+    array: copy ``(v, k)`` is split index ``offset[v] + k`` (copies are
+    inserted per node in node order, ``k`` ascending — exactly the
+    object's ``add_node`` sequence), and split edge ``i`` is original
+    edge ``i`` (sequential ``add_edge``).  Copy reprs are rebuilt as
+    the tuple repr strings ``"(<node repr>, <k>)"`` so the König
+    colorer's repr-sorted side orders match the object engine's.
+    """
+    graph = ci.graph
+    compact_bipartite_sides(graph)  # raises if not bipartite
+    m = graph.num_edges
+    if m == 0:
+        return MigrationSchedule([], method="bipartite_optimal")
+
+    caps = ci.capacities
+    n = graph.num_nodes
+    offset = [0] * (n + 1)
+    for v in range(n):
+        offset[v + 1] = offset[v] + caps[v]
+    reprs = graph.node_reprs()
+    split_repr: List[str] = [
+        "(" + reprs[v] + ", " + str(k) + ")"
+        for v in range(n)
+        for k in range(caps[v])
+    ]
+    cursor = [0] * n
+    split_edges: List[Tuple[int, int]] = []
+    edge_u, edge_v = graph.edge_u, graph.edge_v
+    for e in range(m):
+        u, v = edge_u[e], edge_v[e]
+        cu = offset[u] + cursor[u] % caps[u]
+        cv = offset[v] + cursor[v] % caps[v]
+        cursor[u] += 1
+        cursor[v] += 1
+        split_edges.append((cu, cv))
+
+    coloring = compact_konig_coloring(offset[n], split_edges, split_repr)
+    original = {graph.edge_ids[e]: coloring[e] for e in range(m)}
+    schedule = MigrationSchedule.from_coloring(original, method="bipartite_optimal")
+    schedule.validate(ci.source)
+    assert schedule.num_rounds == ci.delta_prime(), (
         "König contraction must land exactly on Δ'"
     )
     return schedule

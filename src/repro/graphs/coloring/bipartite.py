@@ -19,9 +19,12 @@ part of the baseline suite.
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.graphs.matching import degree_constrained_subgraph
+import numpy as np
+
+from repro.graphs.array_backend import CompactGraph
+from repro.graphs.matching import QuotaPeeler, degree_constrained_subgraph
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
 
@@ -123,3 +126,166 @@ def bipartite_coloring(graph: Multigraph) -> Dict[EdgeId, int]:
         remaining = [i for i in remaining if i not in picked_ids]
     assert not remaining, "regular graph should decompose into Δ matchings"
     return coloring
+
+
+# ----------------------------------------------------------------------
+# Array backend (byte-identical mirrors of the functions above)
+# ----------------------------------------------------------------------
+
+def compact_bipartite_sides(graph: CompactGraph) -> List[int]:
+    """Array mirror of :func:`bipartite_sides` over a CSR snapshot.
+
+    Returns ``side[v] in {0, 1}`` per node index, with the anchor of
+    each component (first unvisited node in index order, which is the
+    object engine's node insertion order) on side 0 — the same sides
+    the object function computes.  Traversal order differs from the
+    object's set-iteration DFS, which is fine: the 2-coloring of a
+    component is unique given its anchor's side.  On non-bipartite
+    input the raised :class:`NotBipartiteError` may cite a different
+    witness edge than the object engine (error paths are not part of
+    the byte-identity contract).
+    """
+    side = [-1] * graph.num_nodes
+    indptr, inc_other = graph.indptr, graph.inc_other
+    reprs = graph.node_reprs()
+    for start in range(graph.num_nodes):
+        if side[start] >= 0:
+            continue
+        side[start] = 0
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            sx = side[x]
+            for h in range(indptr[x], indptr[x + 1]):
+                y = inc_other[h]
+                if y == x:
+                    raise NotBipartiteError(f"self-loop at {reprs[x]}")
+                if side[y] < 0:
+                    side[y] = 1 - sx
+                    stack.append(y)
+                elif side[y] == sx:
+                    raise NotBipartiteError(
+                        f"odd cycle through {reprs[x]}-{reprs[y]}"
+                    )
+    return side
+
+
+def compact_konig_coloring(
+    num_nodes: int,
+    edges: List[Tuple[int, int]],
+    node_repr: Sequence[str],
+) -> List[int]:
+    """Array mirror of :func:`bipartite_coloring` (byte-identical).
+
+    Nodes are dense ints ``0..num_nodes-1`` standing for the object
+    graph's nodes; ``node_repr[v]`` must be ``repr`` of the node ``v``
+    stands for, because the object function sorts sides by label repr
+    and the mirror must reproduce that order exactly (reprs are assumed
+    unique, the same precondition the canonical fingerprint imposes).
+    ``edges[i]`` is the endpoint pair of the i-th edge in the object
+    graph's ``edges()`` enumeration order, so the result — the color of
+    edge ``i`` at position ``i`` — aligns with the object coloring dict
+    keyed by edge id.
+
+    The ``Δ`` matching peels run on one persistent
+    :class:`~repro.graphs.matching.QuotaPeeler` (unit quotas reset per
+    peel) instead of a fresh flow network per color; the peeler's
+    contract guarantees the same matchings as the object engine's
+    per-color ``degree_constrained_subgraph`` calls.
+    """
+    m = len(edges)
+    if m == 0:
+        return []
+
+    # Sides, mirroring bipartite_sides over an adjacency built in edge
+    # order (anchor-per-component on side 0, component anchors in node
+    # index order).
+    adj: List[List[int]] = [[] for _ in range(num_nodes)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    side = [-1] * num_nodes
+    for start in range(num_nodes):
+        if side[start] >= 0:
+            continue
+        side[start] = 0
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            sx = side[x]
+            for y in adj[x]:
+                if y == x:
+                    raise NotBipartiteError(f"self-loop at {node_repr[x]}")
+                if side[y] < 0:
+                    side[y] = 1 - sx
+                    stack.append(y)
+                elif side[y] == sx:
+                    raise NotBipartiteError(
+                        f"odd cycle through {node_repr[x]}-{node_repr[y]}"
+                    )
+
+    deg = [0] * num_nodes
+    for u, v in edges:
+        deg[u] += 1
+        deg[v] += 1
+    delta = max(deg)
+
+    # Working edge list, left-oriented; index < m is the real edge i.
+    work: List[Tuple[int, int]] = [
+        (u, v) if side[u] == 0 else (v, u) for u, v in edges
+    ]
+
+    # Sides sorted by label repr — exactly the object's
+    # ``sorted(left, key=repr)`` (stable index tie-break is moot when
+    # reprs are unique).  Pad nodes take fresh indices >= num_nodes and
+    # are appended *after* the sort, like the object's fresh pad labels.
+    lefts = sorted((v for v in range(num_nodes) if side[v] == 0),
+                   key=node_repr.__getitem__)
+    rights = sorted((v for v in range(num_nodes) if side[v] == 1),
+                    key=node_repr.__getitem__)
+    while len(lefts) < len(rights):
+        lefts.append(len(deg))
+        deg.append(0)
+    while len(rights) < len(lefts):
+        rights.append(len(deg))
+        deg.append(0)
+
+    # Regularize: greedily wire deficient pairs with dummy edges.
+    deficient_left = [v for v in lefts if deg[v] < delta]
+    deficient_right = [v for v in rights if deg[v] < delta]
+    li, ri = 0, 0
+    while li < len(deficient_left):
+        u = deficient_left[li]
+        if deg[u] == delta:
+            li += 1
+            continue
+        w = deficient_right[ri]
+        if deg[w] == delta:
+            ri += 1
+            continue
+        work.append((u, w))
+        deg[u] += 1
+        deg[w] += 1
+
+    # Peel Δ perfect matchings on one persistent network.
+    left_pos = {v: i for i, v in enumerate(lefts)}
+    right_pos = {v: i for i, v in enumerate(rights)}
+    peeler = QuotaPeeler(
+        [1] * len(lefts),
+        [1] * len(rights),
+        [left_pos[u] for u, _ in work],
+        [right_pos[w] for _, w in work],
+    )
+    color_of = [-1] * m
+    remaining = np.arange(len(work), dtype=np.int64)
+    for color in range(delta):
+        picked = peeler.peel(remaining)
+        picked_np = np.asarray(picked, dtype=np.int64)
+        for i in remaining[picked_np].tolist():
+            if i < m:
+                color_of[i] = color
+        keep = np.ones(remaining.shape[0], dtype=bool)
+        keep[picked_np] = False
+        remaining = remaining[keep]
+    assert not remaining.size, "regular graph should decompose into Δ matchings"
+    return color_of

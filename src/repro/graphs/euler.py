@@ -15,8 +15,9 @@ traverses each edge to split every node's incident edges into equal
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.graphs.array_backend import CompactGraph
 from repro.graphs.multigraph import EdgeId, Multigraph, Node
 
 
@@ -77,6 +78,110 @@ def euler_circuits(graph: Multigraph) -> List[List[Tuple[EdgeId, Node, Node]]]:
                 stack.append(w)
         circuits.append(tour[::-1])
     return circuits
+
+
+def compact_euler_circuits(
+    indptr: Sequence[int],
+    inc_edge: Sequence[int],
+    inc_other: Sequence[int],
+    degree: Sequence[int],
+    num_edges: int,
+) -> List[List[Tuple[int, int, int]]]:
+    """Array-backend Hierholzer over raw CSR rows.
+
+    The arrays describe a multigraph over dense node indices exactly as
+    :class:`~repro.graphs.array_backend.CompactGraph` lays them out
+    (row ``indptr[v]:indptr[v+1]`` lists incident edge indices in the
+    object engine's ``incident_edges(v)`` order; self-loops appear once
+    per row but count 2 in ``degree``).  Taking raw rows rather than a
+    ``CompactGraph`` lets the even-capacity solver walk its *augmented*
+    graph (original edges plus evenizing self-loops and pairing edges)
+    without materializing object edges for the augmentation.
+
+    Step-for-step mirror of :func:`euler_circuits`: same per-node
+    cursor advancement, same start-node order (node index order ==
+    object insertion order), same emit-on-retreat walk — so circuit
+    ``k`` of this function traverses exactly the edges, directions and
+    order of circuit ``k`` of the object function.
+
+    Raises:
+        NotEulerianError: if some node has odd degree.
+    """
+    n = len(degree)
+    for v in range(n):
+        if degree[v] % 2 != 0:
+            raise NotEulerianError(f"node index {v} has odd degree {degree[v]}")
+
+    cursor = [0] * n
+    used = bytearray(num_edges)
+    circuits: List[List[Tuple[int, int, int]]] = []
+
+    for start in range(n):
+        # Inline next_unused(start): skip already-used row entries.
+        i = cursor[start]
+        row_end = indptr[start + 1]
+        base = indptr[start]
+        while base + i < row_end and used[inc_edge[base + i]]:
+            i += 1
+        cursor[start] = i
+        if base + i >= row_end:
+            continue
+        stack: List[int] = [start]
+        path_edges: List[Tuple[int, int, int]] = []
+        tour: List[Tuple[int, int, int]] = []
+        while stack:
+            v = stack[-1]
+            base = indptr[v]
+            row_end = indptr[v + 1]
+            i = cursor[v]
+            while base + i < row_end and used[inc_edge[base + i]]:
+                i += 1
+            cursor[v] = i
+            if base + i >= row_end:
+                stack.pop()
+                if path_edges:
+                    tour.append(path_edges.pop())
+            else:
+                e = inc_edge[base + i]
+                used[e] = 1
+                w = inc_other[base + i]
+                path_edges.append((e, v, w))
+                stack.append(w)
+        circuits.append(tour[::-1])
+    return circuits
+
+
+def compact_euler_orientation(
+    indptr: Sequence[int],
+    inc_edge: Sequence[int],
+    inc_other: Sequence[int],
+    degree: Sequence[int],
+    num_edges: int,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Array-backend :func:`euler_orientation`.
+
+    Returns ``(order, tail, head)``: ``order`` lists edge indices in
+    the same sequence the object orientation dict would insert them
+    (circuit discovery order), and ``tail[e]``/``head[e]`` give the
+    traversal direction of edge ``e`` (``-1`` for edges not reached,
+    which cannot happen on an Eulerian input).
+    """
+    order: List[int] = []
+    tail = [-1] * num_edges
+    head = [-1] * num_edges
+    for circuit in compact_euler_circuits(indptr, inc_edge, inc_other, degree, num_edges):
+        for e, u, v in circuit:
+            order.append(e)
+            tail[e] = u
+            head[e] = v
+    return order, tail, head
+
+
+def euler_circuits_of(graph: CompactGraph) -> List[List[Tuple[int, int, int]]]:
+    """:func:`compact_euler_circuits` over a :class:`CompactGraph`."""
+    return compact_euler_circuits(
+        graph.indptr, graph.inc_edge, graph.inc_other, graph.degree, graph.num_edges
+    )
 
 
 def euler_orientation(graph: Multigraph) -> Dict[EdgeId, Tuple[Node, Node]]:

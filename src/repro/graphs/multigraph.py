@@ -11,6 +11,30 @@ structure and convert to networkx only at the boundaries.
 Edges are identified by integer ids that are stable across removals;
 every algorithm in this package talks about edges by id, never by
 ``(u, v)`` pair (which would be ambiguous in a multigraph).
+
+Edge-id stability contract (relied on by the array backend and the
+plan cache):
+
+* ``add_edge`` assigns strictly increasing ids from a high-water mark
+  (``next_edge_id``) that **never decreases** — removing an edge does
+  not recycle its id, so any ``remove_edge``/re-add interleaving keeps
+  old ids valid and new ids fresh.
+* Enumeration order: ``edges()`` / ``edge_ids()`` yield edges in
+  insertion order.  For graphs built through ``add_edge`` alone this
+  is ascending-id order; ``edge_subgraph`` inserts in the caller-given
+  order, so consumers that need ascending ids must sort.
+* Adjacency-order invariant: for every node ``v``,
+  ``incident_edges(v)`` equals the global ``edges()`` order filtered
+  to the edges incident to ``v``.  This holds under any sequence of
+  ``add_edge``/``remove_edge`` (both dicts delete and append
+  together) and is preserved by ``copy``/``subgraph``/
+  ``edge_subgraph``/``restore_edge``.  The CSR conversion boundary
+  (``CompactGraph.from_multigraph``) snapshots exactly this order and
+  its inverse rebuilds it, so conversion round-trips ids and orders
+  exactly.
+* Self-loop accounting: a self-loop appears **once** in
+  ``incident_edges(v)`` (one adjacency slot) but contributes **2** to
+  ``degree(v)``; ``sum(degree) == 2 * num_edges`` always.
 """
 
 from __future__ import annotations
@@ -69,8 +93,52 @@ class Multigraph:
             self._degree[u] += 2
         return eid
 
+    def restore_edge(self, eid: EdgeId, u: Node, v: Node) -> None:
+        """Insert an edge under a caller-chosen id.
+
+        The conversion-boundary inverse of enumeration: rebuilding a
+        graph by calling ``restore_edge`` in ``edges()`` order
+        reproduces the original ``_edges`` and per-node adjacency
+        orders exactly (see the adjacency-order invariant in the
+        module docstring).  The id high-water mark is advanced past
+        ``eid`` so later ``add_edge`` calls never collide.
+
+        Raises:
+            ValueError: if ``eid`` is already present.
+        """
+        if eid in self._edges:
+            raise ValueError(f"edge id {eid} already present")
+        self.add_node(u)
+        self.add_node(v)
+        self._edges[eid] = (u, v)
+        self._adj[u][eid] = v
+        if u != v:
+            self._adj[v][eid] = u
+            self._degree[u] += 1
+            self._degree[v] += 1
+        else:
+            self._degree[u] += 2
+        if eid >= self._next_id:
+            self._next_id = eid + 1
+
+    def reserve_edge_ids(self, next_id: EdgeId) -> None:
+        """Raise the id high-water mark to at least ``next_id``.
+
+        Lets a reconstructed graph (e.g. ``CompactGraph.to_multigraph``)
+        keep allocating fresh ids exactly where the source graph would
+        have, even when the source had removed its highest-id edges.
+        The mark never decreases.
+        """
+        if next_id > self._next_id:
+            self._next_id = next_id
+
     def remove_edge(self, eid: EdgeId) -> Tuple[Node, Node]:
-        """Remove edge ``eid``; return its endpoints."""
+        """Remove edge ``eid``; return its endpoints.
+
+        The id is retired, never reused: a later ``add_edge`` still
+        allocates from the high-water mark, so removal/re-add
+        interleavings can never alias two distinct edges.
+        """
         u, v = self._edges.pop(eid)
         del self._adj[u][eid]
         if u != v:
@@ -107,6 +175,11 @@ class Multigraph:
     @property
     def num_nodes(self) -> int:
         return len(self._adj)
+
+    @property
+    def next_edge_id(self) -> EdgeId:
+        """The id the next ``add_edge`` will assign (never decreases)."""
+        return self._next_id
 
     @property
     def num_edges(self) -> int:

@@ -25,18 +25,30 @@ work-size threshold before spinning up a pool.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.general import GeneralSolverStats
 from repro.core.problem import MigrationInstance
+from repro.core.schedule import MigrationSchedule
+from repro.graphs.array_backend import lower_instance
 from repro.pipeline.canonical import (
     TokenRounds,
     canonicalize_rounds,
     derive_restart_seed,
 )
 
-#: One unit of work: (component instance, method name, seed).
-SolveJob = Tuple[MigrationInstance, str, int]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.pipeline.registry import SolverSpec
+
+#: One unit of work: (component instance, method name, seed) — with an
+#: optional fourth element naming the engine backend ("object" or
+#: "array"); 3-tuples keep the pre-backend meaning (the registry
+#: default).  Backends are byte-identical, so the outcome carries no
+#: backend marker and caches need none either.
+SolveJob = Union[
+    Tuple[MigrationInstance, str, int],
+    Tuple[MigrationInstance, str, int, str],
+]
 
 #: One result: (canonical rounds, method label the solver reported).
 SolveOutcome = Tuple[TokenRounds, str]
@@ -46,6 +58,40 @@ SolveOutcome = Tuple[TokenRounds, str]
 #: restart re-solves one component, not the whole instance — the
 #: monolithic path cannot buy round-count luck this cheaply.
 GENERAL_SOLVE_RESTARTS = 5
+
+
+def backend_solver(
+    spec: "SolverSpec",
+    instance: MigrationInstance,
+    backend: str,
+) -> Callable[[int, Optional[GeneralSolverStats]], MigrationSchedule]:
+    """Bind ``spec`` to ``instance`` on the requested backend.
+
+    For an effective array backend the component is lowered onto the
+    CSR representation exactly once — restart attempts reuse the
+    lowered arrays.  The returned callable has the ``(seed, stats)``
+    solver signature.
+    """
+    from repro.pipeline.registry import effective_backend
+
+    if effective_backend(spec, backend) == "array":
+        compact = spec.solve_compact
+        assert compact is not None  # implied by effective_backend
+        lowered = lower_instance(instance)
+
+        def solve_array(
+            seed: int, stats: Optional[GeneralSolverStats]
+        ) -> MigrationSchedule:
+            return compact(lowered, seed, stats)
+
+        return solve_array
+
+    def solve_object(
+        seed: int, stats: Optional[GeneralSolverStats]
+    ) -> MigrationSchedule:
+        return spec.solve(instance, seed, stats)
+
+    return solve_object
 
 
 def solve_job(job: SolveJob, stats: Optional[GeneralSolverStats] = None) -> SolveOutcome:
@@ -62,20 +108,22 @@ def solve_job(job: SolveJob, stats: Optional[GeneralSolverStats] = None) -> Solv
     private diagnostics, so a caller-provided ``stats`` describes the
     first solve only.
     """
-    instance, method, seed = job
-    from repro.pipeline.registry import get_solver
+    instance, method, seed = job[0], job[1], job[2]
+    from repro.pipeline.registry import DEFAULT_BACKEND, get_solver
 
+    backend = job[3] if len(job) > 3 else DEFAULT_BACKEND
     spec = get_solver(method)
+    solve = backend_solver(spec, instance, backend)
     run_stats = stats
     if run_stats is None and spec.randomized and not spec.optimal:
         run_stats = GeneralSolverStats()
-    schedule = spec.solve(instance, seed, run_stats)
+    schedule = solve(seed, run_stats)
     schedule.validate(instance)
     if spec.randomized and not spec.optimal and run_stats is not None:
         for attempt in range(1, GENERAL_SOLVE_RESTARTS + 1):
             if schedule.num_rounds <= run_stats.lower_bound:
                 break
-            alt = spec.solve(instance, derive_restart_seed(seed, attempt), None)
+            alt = solve(derive_restart_seed(seed, attempt), None)
             if alt.num_rounds < schedule.num_rounds:
                 alt.validate(instance)
                 schedule = alt

@@ -56,8 +56,15 @@ from repro.pipeline.canonical import (
     fingerprint,
     rehydrate_rounds,
 )
-from repro.pipeline.parallel import SolveJob, solve_job, solve_jobs
-from repro.pipeline.registry import SolverSpec, get_solver, select_solver
+from repro.pipeline.parallel import SolveJob, backend_solver, solve_job, solve_jobs
+from repro.pipeline.registry import (
+    DEFAULT_BACKEND,
+    SolverSpec,
+    effective_backend,
+    get_solver,
+    resolve_backend,
+    select_solver,
+)
 from repro.pipeline.stages import (
     Component,
     decompose,
@@ -86,6 +93,12 @@ class ComponentPlan:
     seed: int
     cached: bool
     fingerprint: Optional[str]
+    #: engine backend that solved (or would have solved) the component:
+    #: "array" when the selected solver ran its compact CSR kernel,
+    #: "object" for the reference path.  Cache hits report the backend
+    #: the solve would have used — the bytes are identical either way,
+    #: which is also why plan-cache keys carry no backend.
+    backend: str = "object"
 
 
 @dataclass
@@ -180,6 +193,7 @@ def plan(
     seed: int = 0,
     stats: Optional[GeneralSolverStats] = None,
     *,
+    backend: str = DEFAULT_BACKEND,
     cache: Optional[PlanCache] = None,
     parallel: Union[bool, str] = False,
     workers: Optional[int] = None,
@@ -195,6 +209,13 @@ def plan(
         seed: base randomness seed.  Component solves draw from seeds
             derived per component fingerprint, so unchanged components
             reproduce their schedules across replans.
+        backend: ``"array"`` (default) lowers each component onto the
+            flat CSR engine when the selected solver has a compact
+            kernel, falling back to the object engine otherwise;
+            ``"object"`` forces the reference engine everywhere.  The
+            two backends are byte-identical by contract (enforced by
+            the differential harness), so the choice affects speed
+            only — plan-cache keys and fingerprints ignore it.
         stats: optional :class:`GeneralSolverStats`, filled by general
             solves.  Providing it disables caching and parallelism for
             this call (diagnostics require an in-process solve); under
@@ -233,6 +254,7 @@ def plan(
     if stats is not None:
         cache = None
         parallel = False
+    backend = resolve_backend(backend)
     tr = ensure_tracer(tracer)
 
     with tr.span(names.SPAN_PLAN, method=method, seed=seed) as root:
@@ -240,9 +262,9 @@ def plan(
             normalized = normalize(instance)
 
         if method != "auto":
-            _plan_forced(instance, method, seed, stats, cache, result, tr)
+            _plan_forced(instance, method, seed, stats, backend, cache, result, tr)
         else:
-            _plan_auto(instance, normalized.empty, seed, stats, cache,
+            _plan_auto(instance, normalized.empty, seed, stats, backend, cache,
                        parallel, workers, result, tr)
 
         with _stage(tr, result, "certify"):
@@ -265,6 +287,7 @@ def _plan_forced(
     method: str,
     seed: int,
     stats: Optional[GeneralSolverStats],
+    backend: str,
     cache: Optional[PlanCache],
     result: PlanResult,
     tracer: Tracer,
@@ -288,7 +311,7 @@ def _plan_forced(
             with tracer.span(names.SPAN_SOLVE, method=spec.name, component=0):
                 watch = Stopwatch()
                 with watch:
-                    solved = spec.solve(instance, seed, stats)
+                    solved = backend_solver(spec, instance, backend)(seed, stats)
             accumulate(result.solver_profile, spec.name, watch)
             schedule = _round_trip(instance, solved, fp)
             if cache is not None and fp is not None:
@@ -314,6 +337,7 @@ def _plan_forced(
             seed=seed,
             cached=cached,
             fingerprint=fp,
+            backend=effective_backend(spec, backend),
         )
     ]
 
@@ -327,6 +351,7 @@ def _plan_auto(
     empty: bool,
     seed: int,
     stats: Optional[GeneralSolverStats],
+    backend: str,
     cache: Optional[PlanCache],
     parallel: Union[bool, str],
     workers: Optional[int],
@@ -340,7 +365,7 @@ def _plan_auto(
         # Nothing to move; resolve exactly like the legacy dispatcher
         # (an empty instance is trivially all-even).
         spec = select_solver(instance)
-        schedule = spec.solve(instance, seed, stats)
+        schedule = backend_solver(spec, instance, backend)(seed, stats)
         schedule.validate(instance)
         result.schedule = schedule
         return
@@ -372,7 +397,7 @@ def _plan_auto(
 
         miss_indices = [k for k, out in enumerate(outcomes) if out is None]
         jobs: List[SolveJob] = [
-            (components[k].instance, selections[k].name, seeds[k])
+            (components[k].instance, selections[k].name, seeds[k], backend)
             for k in miss_indices
         ]
         use_pool = _should_parallelize(parallel, [components[k] for k in miss_indices])
@@ -430,6 +455,7 @@ def _plan_auto(
             seed=seeds[k],
             cached=cached_flags[k],
             fingerprint=comp.fingerprint,
+            backend=effective_backend(selections[k], backend),
         )
         for k, comp in enumerate(components)
     ]

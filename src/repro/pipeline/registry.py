@@ -31,15 +31,21 @@ from repro.core.baselines import (
     homogeneous_schedule,
     saia_schedule,
 )
-from repro.core.even_optimal import even_optimal_schedule
+from repro.core.even_optimal import even_optimal_schedule, even_optimal_schedule_compact
 from repro.core.exact import exact_optimum
-from repro.core.general import GeneralSolverStats, general_schedule
+from repro.core.general import (
+    GeneralSolverStats,
+    general_schedule,
+    general_schedule_compact,
+)
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.core.special_cases import (
     bipartite_optimal_schedule,
+    bipartite_optimal_schedule_compact,
     is_bipartite_instance,
 )
+from repro.graphs.array_backend import CompactInstance
 
 #: ``solve(instance, seed, stats)`` — the uniform solver signature.
 #: Solvers without randomness or diagnostics ignore the extra args.
@@ -47,7 +53,38 @@ SolveFn = Callable[
     [MigrationInstance, int, Optional[GeneralSolverStats]], MigrationSchedule
 ]
 
+#: ``solve_compact(lowered, seed, stats)`` — the array-backend variant.
+#: Must produce a schedule byte-identical to ``solve`` on the source
+#: instance; the differential harness (`repro.checks.engine`) enforces
+#: this across the generator corpus.
+SolveCompactFn = Callable[
+    [CompactInstance, int, Optional[GeneralSolverStats]], MigrationSchedule
+]
+
 ApplicableFn = Callable[[MigrationInstance], bool]
+
+#: Engine backends the solve stage can dispatch to.  ``"array"`` lowers
+#: each component onto the flat CSR representation and runs the
+#: solver's compact kernel when it registered one (solvers without a
+#: compact kernel fall back to the object path); ``"object"`` forces
+#: the reference engine.  Schedules are byte-identical either way.
+BACKENDS = ("object", "array")
+
+#: Backend used when the caller does not choose one.
+DEFAULT_BACKEND = "array"
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a backend name.
+
+    Raises:
+        ValueError: for anything but a member of :data:`BACKENDS`.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -62,6 +99,21 @@ class SolverSpec:
     auto: bool
     randomized: bool  # output depends on the seed → restarts can help
     order: int  # registration order; breaks cost_hint ties deterministically
+    #: array-backend kernel, byte-identical to ``solve``; None means
+    #: the solver runs on the object engine regardless of backend.
+    solve_compact: Optional[SolveCompactFn] = None
+
+
+def effective_backend(spec: SolverSpec, backend: str) -> str:
+    """The backend that will actually run ``spec`` under ``backend``.
+
+    A requested ``"array"`` backend only takes effect for solvers that
+    registered a compact kernel; everything else keeps the reference
+    object path.
+    """
+    if backend == "array" and spec.solve_compact is not None:
+        return "array"
+    return "object"
 
 
 _REGISTRY: Dict[str, SolverSpec] = {}
@@ -75,6 +127,7 @@ def register_solver(
     optimal: bool = False,
     auto: bool = False,
     randomized: bool = False,
+    compact: Optional[SolveCompactFn] = None,
 ) -> Callable[[SolveFn], SolveFn]:
     """Register a solver under ``name``; use as a decorator.
 
@@ -88,6 +141,9 @@ def register_solver(
         randomized: output depends on the seed, so the pipeline's solve
             stage may restart the solver with derived seeds when a
             component comes out above its lower bound.
+        compact: optional array-backend kernel; must be byte-identical
+            to the object solver (same rounds, same method label) so
+            the plan cache and fingerprints can stay backend-agnostic.
 
     Raises:
         ValueError: on duplicate registration.
@@ -105,6 +161,7 @@ def register_solver(
             auto=auto,
             randomized=randomized,
             order=len(_REGISTRY),
+            solve_compact=compact,
         )
         return fn
 
@@ -151,12 +208,37 @@ def select_solver(instance: MigrationInstance) -> SolverSpec:
 # built-in catalog (registration order == legacy METHODS order)
 # ----------------------------------------------------------------------
 
+def _compact_even_optimal(
+    ci: CompactInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return even_optimal_schedule_compact(ci)
+
+
+def _compact_bipartite_optimal(
+    ci: CompactInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return bipartite_optimal_schedule_compact(ci)
+
+
+def _compact_general(
+    ci: CompactInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return general_schedule_compact(ci, seed=seed, stats=stats)
+
+
 @register_solver(
     "even_optimal",
     applicable=lambda inst: inst.all_even(),
     cost_hint=10,
     optimal=True,
     auto=True,
+    compact=_compact_even_optimal,
 )
 def _solve_even_optimal(
     instance: MigrationInstance,
@@ -172,6 +254,7 @@ def _solve_even_optimal(
     cost_hint=20,
     optimal=True,
     auto=True,
+    compact=_compact_bipartite_optimal,
 )
 def _solve_bipartite_optimal(
     instance: MigrationInstance,
@@ -181,7 +264,13 @@ def _solve_bipartite_optimal(
     return bipartite_optimal_schedule(instance)
 
 
-@register_solver("general", cost_hint=100, auto=True, randomized=True)
+@register_solver(
+    "general",
+    cost_hint=100,
+    auto=True,
+    randomized=True,
+    compact=_compact_general,
+)
 def _solve_general(
     instance: MigrationInstance,
     seed: int,
