@@ -21,7 +21,11 @@ attribution; it accepts ``seed``, ``cache``, ``parallel``, ``certify``
 and ``tracer``.  The historical flat call,
 :func:`plan_migration(inst) <repro.core.solver.plan_migration>`
 ``-> MigrationSchedule``, survives as a deprecated compatibility shim
-over the same pipeline.
+over the same pipeline.  When the instance *changes* instead of
+arriving fresh, :func:`repro.plan_delta` absorbs an
+:class:`InstanceDelta <repro.core.delta.InstanceDelta>` by patching
+the prior schedule — byte-identical to a full replan, at a fraction
+of the cost.
 
 Package map:
 
@@ -43,29 +47,37 @@ Package map:
   substrate shared by the pipeline, the executor and the cluster
   engine (``repro-migrate stats``).
 * :mod:`repro.workloads` — transfer-graph generators (load-balancing
-  deltas, disk add/remove, synthetic sweeps).
+  deltas, disk add/remove, synthetic sweeps) plus the
+  temperature-driven tiered workload: seeded
+  :class:`InstanceDelta <repro.core.delta.InstanceDelta>` streams and
+  a closed-loop replay over :func:`repro.plan_delta`.
 * :mod:`repro.analysis` — metrics and table rendering for the
   benchmark harness, including trace aggregation.
 * :mod:`repro.checks` — determinism linter, typing gate,
   cross-``PYTHONHASHSEED`` harness, schedule certification.
 """
 
+from repro.core.delta import InstanceDelta, apply_delta
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.core.solver import plan_migration
 from repro.core.lower_bounds import lb1, lb2, lower_bound
 from repro.graphs.multigraph import Multigraph
-from repro.pipeline import PlanCache, PlanResult, plan
+from repro.pipeline import DeltaPlanResult, PlanCache, PlanResult, plan, plan_delta
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "InstanceDelta",
     "MigrationInstance",
     "MigrationSchedule",
     "Multigraph",
     "PlanCache",
+    "DeltaPlanResult",
     "PlanResult",
+    "apply_delta",
     "plan",
+    "plan_delta",
     "plan_migration",
     "lower_bound",
     "lb1",

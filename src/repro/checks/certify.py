@@ -27,6 +27,8 @@ against the instance on load.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -421,4 +423,135 @@ def certificate_from_json(
         lb1=lb1_part,
         lb2=lb2_part,
         exact=bool(data.get("exact", False)),
+    )
+
+
+# ----------------------------------------------------------------------
+# patch certificates (incremental replanning)
+# ----------------------------------------------------------------------
+
+PATCH_CERTIFICATE_SCHEMA_VERSION = 1
+
+
+def rounds_digest(rounds: Rounds) -> str:
+    """SHA-256 of the exact JSON form of a schedule's rounds.
+
+    Same algorithm as :func:`repro.checks.engine.schedule_digest`
+    (re-implemented here because the engine harness imports this
+    module): deliberately *not* order-normalized — byte-identity is
+    the contract, so the digest must see the rounds exactly as
+    emitted.
+    """
+    blob = json.dumps([list(rnd) for rnd in rounds], separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def delta_digest(payload: Mapping[str, Any]) -> str:
+    """SHA-256 of a delta's canonical payload.
+
+    ``payload`` is :meth:`repro.core.delta.InstanceDelta.canonical_payload`;
+    keys are sorted but list order is preserved — the order of a
+    delta's edits is part of its identity.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PatchCertificate:
+    """Binds one incremental replan to its inputs and its output.
+
+    A lower-bound certificate proves a patched schedule is *good*; the
+    patch certificate proves it is *the* schedule this (prior, delta)
+    pair produced: SHA-256 digests of the prior rounds, the canonical
+    delta payload and the result rounds, plus the per-component
+    disposition record (``reused`` / ``patched`` / ``resolved`` keyed
+    by component fingerprint).  Any replay of the same replan must
+    reproduce it bit for bit; any tampering with prior, delta or
+    result breaks verification.
+    """
+
+    prior_digest: str
+    delta_digest: str
+    result_digest: str
+    #: ``(component fingerprint or "", disposition)`` per component,
+    #: in canonical component order.
+    dispositions: Tuple[Tuple[str, str], ...]
+
+
+def make_patch_certificate(
+    prior_rounds: Rounds,
+    delta_payload: Mapping[str, Any],
+    result_rounds: Rounds,
+    dispositions: Sequence[Tuple[str, str]],
+) -> PatchCertificate:
+    """Certificate for one ``plan_delta`` outcome (see the class doc)."""
+    return PatchCertificate(
+        prior_digest=rounds_digest(prior_rounds),
+        delta_digest=delta_digest(delta_payload),
+        result_digest=rounds_digest(result_rounds),
+        dispositions=tuple((fp, disp) for fp, disp in dispositions),
+    )
+
+
+def verify_patch_certificate(
+    certificate: PatchCertificate,
+    prior_rounds: Rounds,
+    delta_payload: Mapping[str, Any],
+    result_rounds: Rounds,
+) -> None:
+    """Re-derive every digest and compare.
+
+    Raises:
+        CertificationError: on the first digest mismatch or an unknown
+            disposition label.
+    """
+    checks = (
+        ("prior", certificate.prior_digest, rounds_digest(prior_rounds)),
+        ("delta", certificate.delta_digest, delta_digest(delta_payload)),
+        ("result", certificate.result_digest, rounds_digest(result_rounds)),
+    )
+    for part, claimed, actual in checks:
+        if claimed != actual:
+            raise CertificationError(
+                f"patch certificate {part} digest mismatch: "
+                f"claimed {claimed[:12]}…, actual {actual[:12]}…"
+            )
+    for fp, disp in certificate.dispositions:
+        if disp not in ("reused", "patched", "resolved"):
+            raise CertificationError(
+                f"unknown disposition {disp!r} for component {fp[:12]}…"
+            )
+
+
+def patch_certificate_to_json(certificate: PatchCertificate) -> Dict[str, Any]:
+    """Serialize to a JSON-compatible dict."""
+    return {
+        "schema_version": PATCH_CERTIFICATE_SCHEMA_VERSION,
+        "prior_digest": certificate.prior_digest,
+        "delta_digest": certificate.delta_digest,
+        "result_digest": certificate.result_digest,
+        "dispositions": [[fp, disp] for fp, disp in certificate.dispositions],
+    }
+
+
+def patch_certificate_from_json(data: Mapping[str, Any]) -> PatchCertificate:
+    """Rebuild a patch certificate from its JSON form.
+
+    Raises:
+        CertificationError: on schema mismatch.
+    """
+    version = data.get("schema_version")
+    if version != PATCH_CERTIFICATE_SCHEMA_VERSION:
+        raise CertificationError(
+            f"patch certificate schema {version!r}; this build reads "
+            f"{PATCH_CERTIFICATE_SCHEMA_VERSION}"
+        )
+    return PatchCertificate(
+        prior_digest=str(data["prior_digest"]),
+        delta_digest=str(data["delta_digest"]),
+        result_digest=str(data["result_digest"]),
+        dispositions=tuple(
+            (str(fp), str(disp)) for fp, disp in data.get("dispositions", [])
+        ),
     )

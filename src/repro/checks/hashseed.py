@@ -146,6 +146,57 @@ sys.stdout.write(json.dumps(payload, sort_keys=True))
 """
 
 
+#: Plans a multi-component instance, applies a fixed delta through
+#: ``plan_delta`` on both engine backends, fails if they diverge
+#: in-process, and prints the patched schedule, dispositions and
+#: certificate digests canonically — the incremental replanner must be
+#: hash-seed independent end to end (token maps, patch recoloring,
+#: cache write-through, certificates).  argv: seed
+DELTA_DRIVER = """\
+import json, random, sys
+from repro.core.delta import InstanceDelta
+from repro.core.problem import MigrationInstance
+from repro.graphs.multigraph import Multigraph
+from repro.pipeline import PlanCache, plan, plan_delta
+
+seed = int(sys.argv[1])
+rng = random.Random(seed)
+graph = Multigraph()
+caps = {}
+for k in range(6):
+    names = [f"c{k}.d{i}" for i in range(8)]
+    for name in names:
+        graph.add_node(name)
+        caps[name] = rng.choice((1, 2, 3))
+    for i in range(7):
+        graph.add_edge(names[i], names[i + 1])
+    for _ in range(30):
+        u, v = rng.sample(range(8), 2)
+        graph.add_edge(names[u], names[v])
+instance = MigrationInstance(graph, caps)
+delta = InstanceDelta(
+    add_moves=(("c0.d0", "c0.d3"), ("c1.d2", "c1.d5")),
+    remove_moves=(("c0.d0", "c0.d1"),),
+    retarget_moves=(("c2.d0", "c2.d1", "c2.d4"),),
+    capacity_changes=(("c3.d0", 2),),
+)
+payloads = []
+for backend in ("object", "array"):
+    cache = PlanCache(max_entries=512)
+    prior = plan(instance, "auto", 0, cache=cache, backend=backend, certify=True)
+    result = plan_delta(prior, delta, cache=cache, backend=backend, certify=True)
+    payloads.append({
+        "rounds": [list(rnd) for rnd in result.schedule.rounds],
+        "dispositions": list(result.dispositions),
+        "bound": result.certificate.bound,
+        "patch_digest": result.patch_certificate.result_digest,
+    })
+if payloads[0] != payloads[1]:
+    sys.exit("delta planner diverged between backends")
+sys.stdout.write(json.dumps(payloads[0], sort_keys=True))
+"""
+
+
 #: Runs the whole-program flow analyzer over the installed package and
 #: prints the canonical report JSON — call-graph construction, effect
 #: fixpoint, contract checks, and finding order must all be independent
@@ -271,6 +322,11 @@ def check_determinism(
         compare_across_hash_seeds(
             "engine/array-vs-object", ENGINE_DRIVER, ["12", "60", "7", "auto"],
             hash_seeds,
+        )
+    )
+    checks.append(
+        compare_across_hash_seeds(
+            "delta/array-vs-object", DELTA_DRIVER, ["7"], hash_seeds
         )
     )
     if include_executor:

@@ -97,6 +97,7 @@ class LintConfig:
 
     deterministic_packages: Tuple[str, ...] = (
         "core", "graphs", "runtime", "pipeline", "obs", "serve", "sim",
+        "workloads",
     )
     select: Optional[Set[str]] = None  # None = all rules
 

@@ -3,8 +3,9 @@
 mypy is a *dev* dependency (the ``lint`` extra); production installs of
 this package never need it.  When mypy is importable we run it
 programmatically against the strict configuration in ``pyproject.toml``
-(scoped to ``repro.core``, ``repro.graphs``, ``repro.pipeline`` and
-``repro.obs``); when it is absent the
+(scoped to ``repro.core``, ``repro.graphs``, ``repro.pipeline``,
+``repro.obs``, ``repro.serve``, ``repro.sim`` and
+``repro.workloads``); when it is absent the
 gate reports ``skipped`` and does not fail — CI installs mypy and is
 where the gate actually gates.
 """
@@ -55,6 +56,7 @@ def run_type_gate(targets: Tuple[str, ...] = ()) -> TypeGateReport:
         str(src / "pipeline"),
         str(src / "obs"),
         str(src / "sim"),
+        str(src / "workloads"),
     ]
     if root is not None:
         args = ["--config-file", str(root / "pyproject.toml")] + args

@@ -312,6 +312,39 @@ class ColoringState:
                     return True
         return False
 
+    def preload(self, coloring: Mapping[EdgeId, int]) -> List[EdgeId]:
+        """Warm-start the state from a prior (possibly stale) coloring.
+
+        Edges are admitted in ascending edge-id order; an entry is
+        *rejected* — left uncolored, never partially applied — when its
+        color falls outside the current palette or would violate a
+        transfer constraint (both happen when the instance changed
+        under the prior plan: shrunken capacities, removed parallel
+        edges freeing slots other survivors now contend for, …).
+        Entries for edges the graph does not contain raise, because the
+        caller was supposed to restrict the coloring first (see
+        :meth:`repro.core.schedule.MigrationSchedule.restrict`).
+
+        Returns the rejected edge ids, ascending.  This is the repair
+        entry point of incremental replanning: reject list + still
+        uncolored edges are then driven through
+        :meth:`try_color_edge`.
+        """
+        rejected: List[EdgeId] = []
+        for eid in sorted(coloring):
+            u, v = self.graph.endpoints(eid)
+            c = coloring[eid]
+            need = 2 if u == v else 1
+            if (
+                not 0 <= c < self.q
+                or self.count(u, c) + need > self.cap[u]
+                or (u != v and self.count(v, c) + 1 > self.cap[v])
+            ):
+                rejected.append(eid)
+                continue
+            self.assign(eid, c)
+        return rejected
+
     # ------------------------------------------------------------------
     # validation / export
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ Schedules are interchangeable with capacitated edge colorings: round
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.errors import ScheduleValidationError
 from repro.core.problem import MigrationInstance
@@ -43,6 +43,23 @@ class MigrationSchedule:
     def as_coloring(self) -> Dict[EdgeId, int]:
         """The inverse view: ``edge_id -> round index``."""
         return {eid: i for i, rnd in enumerate(self._rounds) for eid in rnd}
+
+    def restrict(self, edge_ids: Iterable[EdgeId]) -> Dict[EdgeId, int]:
+        """The coloring induced on surviving edges.
+
+        Returns ``edge_id -> round index`` for exactly the scheduled
+        edges in ``edge_ids``; edges this schedule never colored are
+        silently absent (they are the *new* work of a delta).  This is
+        the read-side repair primitive of incremental replanning: the
+        result feeds :meth:`repro.core.recolor.ColoringState.preload`.
+        """
+        keep = set(edge_ids)
+        return {
+            eid: i
+            for i, rnd in enumerate(self._rounds)
+            for eid in rnd
+            if eid in keep
+        }
 
     @property
     def rounds(self) -> List[List[EdgeId]]:

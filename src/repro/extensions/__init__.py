@@ -58,6 +58,7 @@ from repro.extensions.indirect import (
 from repro.extensions.online import (
     OnlineInstance,
     OnlineReport,
+    arrivals_to_deltas,
     run_online,
     validate_online,
 )
@@ -110,6 +111,7 @@ __all__ = [
     # online migration
     "OnlineInstance",
     "OnlineReport",
+    "arrivals_to_deltas",
     "run_online",
     "validate_online",
     # throttled migration

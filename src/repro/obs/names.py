@@ -59,6 +59,15 @@ PLAN_CACHE_MISSES = "plan_cache_misses"
 PLAN_COMPONENTS_SOLVED = "plan_components_solved"
 PLAN_COMPONENTS_CACHED = "plan_components_cached"
 
+# incremental replanning (repro.pipeline.delta) — per-component
+# disposition attribution of one plan_delta call.
+DELTA_COMPONENTS_REUSED = "delta_components_reused"
+DELTA_COMPONENTS_PATCHED = "delta_components_patched"
+DELTA_COMPONENTS_RESOLVED = "delta_components_resolved"
+#: Patched components that exceeded the degree bound and fell back to
+#: a full per-component re-solve.
+DELTA_PATCH_FALLBACKS = "delta_patch_fallbacks"
+
 # ----------------------------------------------------------------------
 # planning service counters/gauges/histograms (repro.serve)
 # ----------------------------------------------------------------------
@@ -124,6 +133,10 @@ SIM_REPAIR_MAKESPAN = "sim_repair_makespan_seconds"
 
 #: Root span of one :func:`repro.pipeline.plan` call.
 SPAN_PLAN = "pipeline.plan"
+
+#: Root span of one :func:`repro.pipeline.plan_delta` call (attrs:
+#: changes, seed; closes with reused/patched/resolved counts).
+SPAN_PLAN_DELTA = "pipeline.plan_delta"
 
 #: Per-stage spans are ``pipeline.stage.<stage>`` for the six stages.
 SPAN_STAGE_PREFIX = "pipeline.stage."

@@ -16,10 +16,12 @@ from repro.pipeline.canonical import (
     canonical_payload,
     canonicalize_rounds,
     derive_component_seed,
+    derive_patch_seed,
     derive_restart_seed,
     fingerprint,
     rehydrate_rounds,
 )
+from repro.pipeline.delta import DELTA_STAGES, DeltaPlanResult, plan_delta
 from repro.pipeline.parallel import GENERAL_SOLVE_RESTARTS
 from repro.pipeline.planner import (
     PARALLEL_AUTO_THRESHOLD,
@@ -45,6 +47,7 @@ from repro.pipeline.stages import (
 )
 
 __all__ = [
+    "DELTA_STAGES",
     "GENERAL_SOLVE_RESTARTS",
     "PARALLEL_AUTO_THRESHOLD",
     "STAGES",
@@ -52,6 +55,7 @@ __all__ = [
     "CacheStats",
     "Component",
     "ComponentPlan",
+    "DeltaPlanResult",
     "NormalizedProblem",
     "PairToken",
     "PlanCache",
@@ -62,6 +66,7 @@ __all__ = [
     "canonicalize_rounds",
     "decompose",
     "derive_component_seed",
+    "derive_patch_seed",
     "derive_restart_seed",
     "fingerprint",
     "get_solver",
@@ -69,6 +74,7 @@ __all__ = [
     "merged_method_name",
     "normalize",
     "plan",
+    "plan_delta",
     "register_solver",
     "rehydrate_rounds",
     "select_solver",

@@ -70,6 +70,18 @@ def canonical_payload(instance: MigrationInstance) -> Optional[Dict[str, object]
     }
 
 
+def reprs_unambiguous(instance: MigrationInstance) -> bool:
+    """True when no two distinct nodes share a ``repr``.
+
+    The cheap prefix of :func:`canonical_payload`'s ambiguity check —
+    ``O(n log n)`` in the node count, no edge scan — for callers that
+    only need to know whether pair-slot tokens are trustworthy (the
+    delta planner asks this for both sides of every replan).
+    """
+    reprs = sorted(repr(v) for v in instance.graph.nodes)
+    return all(a != b for a, b in zip(reprs, reprs[1:]))
+
+
 def fingerprint(instance: MigrationInstance) -> Optional[str]:
     """SHA-256 hex digest of the canonical payload (``None`` if ambiguous)."""
     payload = canonical_payload(instance)
@@ -131,6 +143,19 @@ def derive_component_seed(seed: int, component_fingerprint: str) -> int:
     not — reproduces the same schedule.
     """
     blob = f"{seed}:{component_fingerprint}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def derive_patch_seed(seed: int, component_fingerprint: str) -> int:
+    """The randomness stream of an incremental *patch* of a component.
+
+    Deliberately distinct from :func:`derive_component_seed`: a patch
+    recolors on top of a warm-started partial coloring, so sharing the
+    solver's stream would correlate the flip shuffles with the solve
+    that produced the prior plan.  Same guarantees otherwise —
+    deterministic, process- and ``PYTHONHASHSEED``-independent.
+    """
+    blob = f"patch:{seed}:{component_fingerprint}".encode("utf-8")
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 

@@ -1,0 +1,405 @@
+"""Incremental replanning: patch a prior plan instead of re-solving.
+
+:func:`plan_delta` is the streaming counterpart of
+:func:`repro.pipeline.planner.plan`.  Given the :class:`PlanResult` of
+a previous ``plan(instance, "auto", seed)`` call and an
+:class:`repro.core.delta.InstanceDelta`, it produces a plan for the
+patched instance by triaging every component of the patched transfer
+graph into one of three **dispositions**:
+
+* ``reused`` — the component's fingerprint matches a prior component
+  (or a live plan-cache entry): the prior coloring transfers wholesale
+  through pair-slot tokens, zero solver work;
+* ``patched`` — some of the component's edges survive from the prior
+  instance: a :class:`repro.core.recolor.ColoringState` is warm-started
+  from the surviving colors (:meth:`~repro.core.recolor.ColoringState.preload`)
+  and only the new / displaced edges are driven through
+  :meth:`~repro.core.recolor.ColoringState.try_color_edge` — ab-path
+  and fan recoloring, the paper's own repair machinery — growing the
+  palette at most to the Theorem 5.1 yardstick
+  ``Δ' + 2·⌈√Δ'⌉ + 2``;
+* ``resolved`` — the patch would exceed that degree bound (or no edge
+  survived, or the component cannot be tokenized): fall back to the
+  exact per-component solve path of ``plan()``, byte-identical to a
+  cold solve by construction (fingerprint-derived seeds).
+
+Every outcome is written through the :class:`PlanCache` under the same
+``(fingerprint, solver, seed)`` key ``plan()`` uses, so
+``plan(patched, "auto", prior.seed, cache=shared)`` after a
+``plan_delta(..., cache=shared)`` serves the identical bytes — the
+"fingerprint-consistent with the PlanCache" contract the property
+suite (``tests/property/test_property_delta.py``) proves.  Patched
+components are additionally validated edge-by-edge, certified by the
+independent lower-bound certifier, and bound to their inputs by a
+:class:`repro.checks.certify.PatchCertificate`.
+
+Determinism contract: ``plan_delta(prior, delta)`` is a pure function
+of ``(prior instance, prior schedule bytes, prior seed, delta)`` —
+cache state and backend change only how much work is done, never the
+output bytes.  The patch path always runs on the object engine (warm
+starts are not a solver kernel); the ``backend`` argument affects
+fallback re-solves only, which are byte-identical across backends by
+the engine-equivalence contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.delta import InstanceDelta, apply_delta
+from repro.core.problem import MigrationInstance
+from repro.core.recolor import ColoringState
+from repro.core.schedule import MigrationSchedule
+from repro.graphs.multigraph import EdgeId
+from repro.obs import names
+from repro.obs.trace import Tracer, ensure_tracer
+from repro.pipeline.cache import CachedPlan, PlanCache
+from repro.pipeline.canonical import (
+    PairToken,
+    TokenRounds,
+    _pair_slots,
+    canonicalize_rounds,
+    derive_component_seed,
+    derive_patch_seed,
+    rehydrate_rounds,
+    reprs_unambiguous,
+)
+from repro.pipeline.parallel import SolveOutcome, backend_solver, solve_job
+from repro.pipeline.planner import ComponentPlan, PlanResult, _certify, _stage
+from repro.pipeline.registry import (
+    DEFAULT_BACKEND,
+    effective_backend,
+    resolve_backend,
+    select_solver,
+)
+from repro.pipeline.stages import decompose, merge
+
+#: delta-pipeline stages, in execution order (timing dict's key set).
+DELTA_STAGES = ("apply", "decompose", "select", "patch", "merge", "certify")
+
+#: component dispositions, in decreasing order of luck.
+DISPOSITION_REUSED = "reused"
+DISPOSITION_PATCHED = "patched"
+DISPOSITION_RESOLVED = "resolved"
+
+#: method label patched components carry in schedules and cache entries.
+PATCH_METHOD = "patch"
+
+
+@dataclass
+class DeltaPlanResult(PlanResult):
+    """A :class:`PlanResult` plus the patch attribution of the replan."""
+
+    #: the delta this result absorbed.
+    delta: Optional[InstanceDelta] = None
+    #: per-component disposition, parallel to ``components``.
+    dispositions: Tuple[str, ...] = ()
+    #: edges actually recolored by patching (new + displaced).
+    patched_edges: int = 0
+    #: patched components that hit the degree bound and re-solved.
+    fallbacks: int = 0
+    #: :class:`repro.checks.certify.PatchCertificate` binding the
+    #: replan to its inputs (always present).
+    patch_certificate: Optional[Any] = None
+
+    @property
+    def components_reused(self) -> int:
+        return sum(1 for d in self.dispositions if d == DISPOSITION_REUSED)
+
+    @property
+    def components_patched(self) -> int:
+        return sum(1 for d in self.dispositions if d == DISPOSITION_PATCHED)
+
+    @property
+    def components_resolved(self) -> int:
+        return sum(1 for d in self.dispositions if d == DISPOSITION_RESOLVED)
+
+
+def _patch_component(
+    instance: MigrationInstance,
+    survivors: Dict[EdgeId, int],
+    seed: int,
+) -> Tuple[Optional[SolveOutcome], int]:
+    """Repair one component's coloring around its surviving edges.
+
+    Warm-starts a :class:`ColoringState` from ``survivors`` (prior
+    colors of the edges that outlived the delta), then colors the rest
+    — preload rejects plus genuinely new edges — in ascending edge-id
+    order via ab-path flips, adding colors only when flips fail and
+    never past ``max(q₀, Δ' + 2·⌈√Δ'⌉ + 2)``.
+
+    Returns ``((token rounds, "patch"), recolored edges)`` on success,
+    ``(None, 0)`` when the degree bound would be exceeded (the caller
+    falls back to a full re-solve).
+    """
+    dp = instance.delta_prime()
+    q0 = max(max(survivors.values()) + 1, dp, 1)
+    bound = max(q0, dp + 2 * math.isqrt(dp) + 2)
+    state = ColoringState(instance.graph, instance.capacities, q0, seed=seed)
+    state.preload(survivors)
+    todo = sorted(state.uncolored)
+    for eid in todo:
+        while not state.try_color_edge(eid):
+            if state.q >= bound:
+                return None, 0
+            # A fresh color is missing at both endpoints, so the next
+            # try_color_edge always succeeds: ≤ 1 growth per edge.
+            state.add_color()
+    schedule = MigrationSchedule.from_coloring(state.color, method=PATCH_METHOD)
+    schedule.validate(instance)
+    return (canonicalize_rounds(instance, schedule.rounds), PATCH_METHOD), len(todo)
+
+
+def plan_delta(
+    prior: PlanResult,
+    delta: InstanceDelta,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    cache: Optional[PlanCache] = None,
+    certify: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> DeltaPlanResult:
+    """Replan after a delta, reusing as much of ``prior`` as possible.
+
+    Args:
+        prior: result of ``plan(instance, "auto", seed)`` (or of an
+            earlier ``plan_delta`` — replans chain).  Must carry its
+            instance and have been an ``"auto"`` plan; a forced-method
+            prior has no per-component structure to patch.
+        delta: the instance edit to absorb.
+        backend: engine for fallback re-solves (byte-identical either
+            way; the patch path itself runs on the object engine).
+        cache: optional :class:`PlanCache`.  Consulted per component
+            exactly like ``plan()`` and **written through** for every
+            disposition, so a later ``plan(patched, cache=...)`` —
+            or the next ``plan_delta`` in the chain — reuses this
+            result byte-for-byte.
+        certify: verify the schedule and compose the per-component
+            lower-bound certificate (on by default here, unlike
+            ``plan()``: a patched schedule's trustworthiness *is* its
+            certificate).  The patch certificate is produced
+            regardless.
+        tracer: optional tracer; the call becomes a
+            ``pipeline.plan_delta`` span with per-stage children and
+            disposition counters.
+
+    Returns:
+        A :class:`DeltaPlanResult`; its schedule is validated against
+        the patched instance, which is available as ``result.instance``
+        for the next link of the chain.
+
+    Raises:
+        ValueError: when ``prior`` cannot anchor an incremental replan.
+        DeltaError: when the delta does not apply to the prior instance.
+    """
+    if prior.requested_method != "auto":
+        raise ValueError(
+            f"plan_delta needs an 'auto' prior; got method "
+            f"{prior.requested_method!r} (forced solves have no "
+            f"per-component structure to patch)"
+        )
+    if prior.instance is None:
+        raise ValueError(
+            "prior carries no instance (PlanResult.instance is None); "
+            "only results produced by repro.plan / repro.plan_delta can "
+            "anchor an incremental replan"
+        )
+    seed = prior.seed
+    backend = resolve_backend(backend)
+    tr = ensure_tracer(tracer)
+    result = DeltaPlanResult(
+        schedule=MigrationSchedule([], method="auto"),
+        requested_method="auto",
+        stage_timings={name: 0.0 for name in DELTA_STAGES},
+        seed=seed,
+        delta=delta,
+    )
+
+    with tr.span(names.SPAN_PLAN_DELTA, changes=delta.num_changes, seed=seed) as root:
+        with _stage(tr, result, "apply"):
+            patched = apply_delta(prior.instance, delta)
+            result.instance = patched
+            # Token transfer is only safe when reprs are globally
+            # unambiguous on BOTH sides; otherwise prior colors could
+            # bleed between look-alike components.  (Same rule that
+            # makes plan() skip caching such instances.)
+            tokens_safe = reprs_unambiguous(prior.instance) and reprs_unambiguous(
+                patched
+            )
+            prior_token_color: Dict[PairToken, int] = {}
+            if tokens_safe:
+                slot_of = _pair_slots(prior.instance)
+                for eid, color in prior.schedule.as_coloring().items():
+                    prior_token_color[slot_of[eid]] = color
+            prior_method: Dict[str, str] = {
+                c.fingerprint: c.method
+                for c in prior.components
+                if c.fingerprint is not None
+            }
+
+        with _stage(tr, result, "decompose"):
+            components = decompose(patched)
+
+        if not components:
+            # Nothing to move — resolve exactly like plan()'s empty path.
+            spec = select_solver(patched)
+            schedule = backend_solver(spec, patched, backend)(seed, None)
+            result.schedule = schedule
+        else:
+            with _stage(tr, result, "select"):
+                selections = [select_solver(comp.instance) for comp in components]
+
+            outcomes: List[Optional[SolveOutcome]] = [None] * len(components)
+            dispositions = [DISPOSITION_RESOLVED] * len(components)
+            cached_flags = [False] * len(components)
+            seeds: List[int] = []
+
+            with _stage(tr, result, "patch"):
+                for k, (comp, spec) in enumerate(zip(components, selections)):
+                    fp = comp.fingerprint
+                    comp_seed = (
+                        derive_component_seed(seed, fp) if fp is not None else seed
+                    )
+                    seeds.append(comp_seed)
+                    comp_slots: Optional[Dict[EdgeId, PairToken]] = None
+
+                    # 1. live plan-cache entry — same key plan() uses.
+                    if cache is not None and fp is not None:
+                        hit = cache.get_plan(fp, spec.name, seed)
+                        if hit is not None:
+                            outcomes[k] = (hit.rounds, hit.method)
+                            dispositions[k] = DISPOSITION_REUSED
+                            cached_flags[k] = True
+                            tr.count(names.PLAN_CACHE_HITS)
+                            continue
+                        tr.count(names.PLAN_CACHE_MISSES)
+
+                    # 2. structurally unchanged component — the prior
+                    #    coloring transfers wholesale through tokens.
+                    if tokens_safe and fp is not None and fp in prior_method:
+                        comp_slots = _pair_slots(comp.instance)
+                        by_color: Dict[int, List[PairToken]] = {}
+                        complete = True
+                        for token in comp_slots.values():
+                            color = prior_token_color.get(token)
+                            if color is None:
+                                complete = False
+                                break
+                            by_color.setdefault(color, []).append(token)
+                        if complete:
+                            # Component round i sat in global round i
+                            # (merge is index-aligned), so grouping by
+                            # ascending prior color rebuilds the exact
+                            # prior token rounds.
+                            tokens: TokenRounds = tuple(
+                                tuple(sorted(by_color[c])) for c in sorted(by_color)
+                            )
+                            outcomes[k] = (tokens, prior_method[fp])
+                            dispositions[k] = DISPOSITION_REUSED
+                            continue
+
+                    # 3. edge-level patch around the surviving edges.
+                    if tokens_safe and fp is not None:
+                        if comp_slots is None:
+                            comp_slots = _pair_slots(comp.instance)
+                        survivors = {
+                            eid: prior_token_color[token]
+                            for eid, token in comp_slots.items()
+                            if token in prior_token_color
+                        }
+                        if survivors:
+                            outcome, recolored = _patch_component(
+                                comp.instance, survivors, derive_patch_seed(seed, fp)
+                            )
+                            if outcome is not None:
+                                outcomes[k] = outcome
+                                dispositions[k] = DISPOSITION_PATCHED
+                                result.patched_edges += recolored
+                                continue
+                            result.fallbacks += 1
+                            tr.count(names.DELTA_PATCH_FALLBACKS)
+
+                    # 4. full per-component re-solve — byte-identical
+                    #    to plan()'s cold path (same job, same seed).
+                    outcomes[k] = solve_job(
+                        (comp.instance, spec.name, comp_seed, backend)
+                    )
+
+                # Write-through: after a plan_delta, the cache serves
+                # the patched instance byte-for-byte.
+                if cache is not None:
+                    for k, comp in enumerate(components):
+                        if comp.fingerprint is None or cached_flags[k]:
+                            continue
+                        out = outcomes[k]
+                        assert out is not None
+                        cache.put_plan(
+                            comp.fingerprint, selections[k].name, seed,
+                            CachedPlan(method=out[1], rounds=out[0]),
+                        )
+                reused = dispositions.count(DISPOSITION_REUSED)
+                patched_n = dispositions.count(DISPOSITION_PATCHED)
+                resolved = dispositions.count(DISPOSITION_RESOLVED)
+                if reused:
+                    tr.count(names.DELTA_COMPONENTS_REUSED, reused)
+                if patched_n:
+                    tr.count(names.DELTA_COMPONENTS_PATCHED, patched_n)
+                if resolved:
+                    tr.count(names.DELTA_COMPONENTS_RESOLVED, resolved)
+
+            with _stage(tr, result, "merge"):
+                component_rounds = []
+                methods = []
+                for comp, outcome in zip(components, outcomes):
+                    assert outcome is not None  # every index is filled above
+                    tokens_out, solver_method = outcome
+                    component_rounds.append(
+                        rehydrate_rounds(comp.instance, tokens_out)
+                    )
+                    methods.append(solver_method)
+                result.schedule = merge(patched, component_rounds, methods)
+
+            result.dispositions = tuple(dispositions)
+            result.components = [
+                ComponentPlan(
+                    index=comp.index,
+                    num_disks=comp.num_disks,
+                    num_items=comp.num_items,
+                    method=outcomes[k][1] if outcomes[k] else selections[k].name,
+                    rounds=len(outcomes[k][0]) if outcomes[k] else 0,
+                    seed=seeds[k],
+                    cached=cached_flags[k],
+                    fingerprint=comp.fingerprint,
+                    backend=(
+                        "object"
+                        if dispositions[k] == DISPOSITION_PATCHED
+                        else effective_backend(selections[k], backend)
+                    ),
+                )
+                for k, comp in enumerate(components)
+            ]
+
+        with _stage(tr, result, "certify"):
+            result.schedule.validate(patched)
+            if certify:
+                _certify(patched, result, cache, components=components)
+            from repro.checks.certify import make_patch_certificate
+
+            result.patch_certificate = make_patch_certificate(
+                prior_rounds=prior.schedule.rounds,
+                delta_payload=delta.canonical_payload(),
+                result_rounds=result.schedule.rounds,
+                dispositions=[
+                    (comp.fingerprint or "", disp)
+                    for comp, disp in zip(result.components, result.dispositions)
+                ],
+            )
+        root.set(
+            rounds=result.schedule.num_rounds,
+            reused=result.components_reused,
+            patched=result.components_patched,
+            resolved=result.components_resolved,
+        )
+    return result

@@ -124,6 +124,12 @@ class PlanResult:
     #: the composed lower-bound certificate (``certify=True`` only).
     certificate: Optional[Any] = None
     certified_optimal: Optional[bool] = None
+    #: the planned instance and base seed, kept so the result can act
+    #: as the *prior* of an incremental replan
+    #: (:func:`repro.pipeline.delta.plan_delta`).  Diagnostics-adjacent
+    #: provenance, never serialized.
+    instance: Optional[MigrationInstance] = None
+    seed: int = 0
 
     @property
     def num_rounds(self) -> int:
@@ -250,6 +256,8 @@ def plan(
         schedule=MigrationSchedule([], method=method),
         requested_method=method,
         stage_timings=timings,
+        instance=instance,
+        seed=seed,
     )
     if stats is not None:
         cache = None
@@ -482,12 +490,17 @@ def _certify(
     instance: MigrationInstance,
     result: PlanResult,
     cache: Optional[PlanCache],
+    components: Optional[List[Component]] = None,
 ) -> None:
     """Compose a per-component lower-bound certificate and verify it.
 
     Imported lazily: :mod:`repro.checks` sits outside the dependency
     stack (its typegate imports the top-level package), so a static
     import here would be circular during interpreter start-up.
+
+    ``components`` lets a caller that already decomposed the instance
+    (the delta planner) skip the redundant re-decomposition; when
+    provided it must be exactly ``decompose(instance)``.
     """
     from repro.checks.certify import (
         LowerBoundCertificate,
@@ -497,7 +510,8 @@ def _certify(
         make_certificate,
     )
 
-    components = decompose(instance)
+    if components is None:
+        components = decompose(instance)
     certs: List[LowerBoundCertificate] = []
     for comp in components:
         payload = (

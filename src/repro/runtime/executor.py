@@ -47,7 +47,6 @@ from repro.cluster.events import (
 )
 from repro.cluster.item import ItemId
 from repro.cluster.system import MigrationPlanContext, StorageCluster
-from repro.compat import warn_once
 from repro.core.schedule import MigrationSchedule
 from repro.obs import names
 from repro.obs.trace import Tracer, ensure_tracer
@@ -119,9 +118,6 @@ class MigrationExecutor:
             round and each replan becomes a span; telemetry counters
             are mirrored into the tracer's metrics registry.  The
             default no-op tracer costs nothing and changes nothing.
-        plan_cache: deprecated alias for ``cache`` (the kwarg is now
-            spelled the same across :func:`repro.plan`,
-            :meth:`MigrationEngine.replan` and this class).
     """
 
     def __init__(
@@ -139,17 +135,7 @@ class MigrationExecutor:
         trace: Optional[JsonlTraceWriter] = None,
         cache: Optional[PlanCache] = None,
         tracer: Optional[Tracer] = None,
-        plan_cache: Optional[PlanCache] = None,
     ):
-        if plan_cache is not None:
-            warn_once(
-                "MigrationExecutor(plan_cache=)",
-                "MigrationExecutor(plan_cache=...) is deprecated; "
-                "use the canonical cache=... kwarg (same spelling as "
-                "repro.plan and MigrationEngine.replan)",
-            )
-            if cache is None:
-                cache = plan_cache
         self.cluster = cluster
         self.faults = FaultInjector(faults if faults is not None else FaultPlan())
         self.policy = policy if policy is not None else RetryPolicy()
@@ -613,7 +599,6 @@ class MigrationExecutor:
         trace: Optional[JsonlTraceWriter] = None,
         cache: Optional[PlanCache] = None,
         tracer: Optional[Tracer] = None,
-        plan_cache: Optional[PlanCache] = None,
     ) -> "MigrationExecutor":
         """Rebuild an executor from :meth:`get_state` output.
 
@@ -624,14 +609,6 @@ class MigrationExecutor:
         resuming without them only costs re-solves and observability,
         never changes plans.
         """
-        if plan_cache is not None:
-            warn_once(
-                "MigrationExecutor.from_state(plan_cache=)",
-                "MigrationExecutor.from_state(plan_cache=...) is deprecated; "
-                "use the canonical cache=... kwarg",
-            )
-            if cache is None:
-                cache = plan_cache
         ex = cls(
             cluster,
             None,  # type: ignore[arg-type] - resume path installs its own plan

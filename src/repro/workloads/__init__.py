@@ -6,6 +6,13 @@
 * :mod:`repro.workloads.scenarios` — end-to-end cluster scenarios
   (VoD demand shift, scale-out, decommission) built on
   :mod:`repro.cluster`.
+* :mod:`repro.workloads.temperature` — temperature-driven tiered
+  migration: access traces, EWMA temperatures, hysteresis tier
+  policies, and the demand ledger that emits one
+  :class:`repro.InstanceDelta` per step.
+* :mod:`repro.workloads.replay` — the closed execute→observe→replan
+  loop over :func:`repro.plan_delta`, with a byte-deterministic
+  transcript.
 """
 
 from repro.workloads.generators import (
@@ -16,14 +23,44 @@ from repro.workloads.generators import (
     random_instance,
     regular_instance,
 )
+from repro.workloads.replay import (
+    ReplayMismatch,
+    ReplayReport,
+    ReplayStepRecord,
+    replay,
+)
 from repro.workloads.scenarios import (
     decommission_scenario,
     scale_out_scenario,
     sensor_harvest_scenario,
     vod_rebalance_scenario,
 )
+from repro.workloads.temperature import (
+    DEFAULT_TIERS,
+    AccessTrace,
+    TemperatureModel,
+    TieredSystem,
+    TieredWorkloadConfig,
+    TierPolicy,
+    TierSpec,
+    WorkloadStep,
+    temperature_stream,
+)
 
 __all__ = [
+    "AccessTrace",
+    "DEFAULT_TIERS",
+    "ReplayMismatch",
+    "ReplayReport",
+    "ReplayStepRecord",
+    "TemperatureModel",
+    "TierPolicy",
+    "TierSpec",
+    "TieredSystem",
+    "TieredWorkloadConfig",
+    "WorkloadStep",
+    "replay",
+    "temperature_stream",
     "random_instance",
     "clique_instance",
     "bipartite_instance",

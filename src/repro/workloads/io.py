@@ -9,10 +9,13 @@ multiplicities survive the round trip; edge ids are regenerated).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.core.problem import MigrationInstance
 from repro.graphs.multigraph import Multigraph
+
+if TYPE_CHECKING:  # runtime keeps the lazy import in plan_from_json
+    from repro.core.schedule import MigrationSchedule
 
 FORMAT_VERSION = 1
 
@@ -67,7 +70,9 @@ def load_instance(path: str) -> MigrationInstance:
 # pair must travel as one payload to stay consistent).
 # ----------------------------------------------------------------------
 
-def plan_to_json(instance: MigrationInstance, schedule, indent: int = 2) -> str:
+def plan_to_json(
+    instance: MigrationInstance, schedule: "MigrationSchedule", indent: int = 2
+) -> str:
     """Serialize an instance with a schedule for it.
 
     Edge ids are process-local, so rounds are stored as indices into an
@@ -93,7 +98,9 @@ def plan_to_json(instance: MigrationInstance, schedule, indent: int = 2) -> str:
     return json.dumps(payload, indent=indent)
 
 
-def plan_from_json(payload: str):
+def plan_from_json(
+    payload: str,
+) -> Tuple[MigrationInstance, "MigrationSchedule"]:
     """Inverse of :func:`plan_to_json`.
 
     Returns ``(instance, schedule)``; the schedule is validated against

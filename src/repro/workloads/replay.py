@@ -1,0 +1,200 @@
+"""Closed-loop replay: temperature workload → delta stream → replans.
+
+One tick of the loop:
+
+1. **execute** — the first round of the current schedule runs to
+   completion; every transfer in it is reported back to the
+   :class:`~repro.workloads.temperature.TieredSystem` via
+   ``complete_pair`` (the moved items land on their target disks);
+2. **observe** — the system advances one access-trace step, updates
+   temperatures, applies the tier policy, and folds the completions
+   plus the new/changed demands into **one**
+   :class:`~repro.core.delta.InstanceDelta`;
+3. **replan** — :func:`repro.plan_delta` patches the prior schedule
+   with that delta, reusing every untouched component.
+
+The replay report is rendered through sorted-key compact JSON and
+contains no timings, hostnames, or clock values, so two replays of the
+same ``(config, seed, steps)`` — in different processes, under
+different ``PYTHONHASHSEED`` values — produce byte-identical files.
+That property is enforced in CI (the ``workloads-smoke`` job) and is
+what makes the workload stream usable as a regression fixture.
+
+With ``check=True`` every patched plan is additionally compared
+against a from-scratch :func:`repro.plan` of the fully-patched
+instance sharing the replay's cache — the byte-identity contract of
+the delta planner, verified tick by tick.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.checks.certify import rounds_digest
+from repro.pipeline.cache import PlanCache
+from repro.pipeline.delta import DeltaPlanResult, plan_delta
+from repro.pipeline.planner import PlanResult, plan
+from repro.workloads.temperature import TieredSystem, TieredWorkloadConfig
+
+REPLAY_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReplayStepRecord:
+    """What one tick did — sized for the canonical report."""
+
+    time: int
+    delta_changes: int
+    executed: int
+    pending: int
+    rounds: int
+    lower_bound: Optional[int]
+    components_reused: int
+    components_patched: int
+    components_resolved: int
+    schedule_digest: str
+    tier_population: Tuple[int, ...]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "delta_changes": self.delta_changes,
+            "executed": self.executed,
+            "pending": self.pending,
+            "rounds": self.rounds,
+            "lower_bound": self.lower_bound,
+            "components_reused": self.components_reused,
+            "components_patched": self.components_patched,
+            "components_resolved": self.components_resolved,
+            "schedule_digest": self.schedule_digest,
+            "tier_population": list(self.tier_population),
+        }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """The full replay transcript (deterministic, timing-free)."""
+
+    seed: int
+    steps: Tuple[ReplayStepRecord, ...]
+    tier_names: Tuple[str, ...]
+    final_digest: str
+    checked: bool
+
+    @property
+    def total_changes(self) -> int:
+        return sum(s.delta_changes for s in self.steps)
+
+    @property
+    def total_executed(self) -> int:
+        return sum(s.executed for s in self.steps)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": REPLAY_SCHEMA_VERSION,
+            "kind": "workload_replay",
+            "seed": self.seed,
+            "tier_names": list(self.tier_names),
+            "num_steps": len(self.steps),
+            "total_changes": self.total_changes,
+            "total_executed": self.total_executed,
+            "final_digest": self.final_digest,
+            "checked": self.checked,
+            "steps": [s.to_payload() for s in self.steps],
+        }
+
+    def canonical_json(self) -> str:
+        """Sorted-key compact JSON — byte-identical across replays."""
+        return json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+
+
+class ReplayMismatch(AssertionError):
+    """``check=True`` found a patched plan differing from a full plan."""
+
+
+def _execute_first_round(system: TieredSystem, prior: PlanResult) -> int:
+    """Run the first round of ``prior`` to completion; return its size."""
+    if prior.instance is None:  # pragma: no cover - plan() always sets it
+        raise ValueError("prior plan does not carry its instance")
+    if prior.schedule.num_rounds == 0:
+        return 0
+    first = prior.schedule.rounds[0]
+    for eid in first:
+        u, v = prior.instance.graph.endpoints(eid)
+        system.complete_pair(u, v)
+    return len(first)
+
+
+def replay(
+    config: TieredWorkloadConfig,
+    steps: int,
+    seed: int = 0,
+    *,
+    cache: Optional[PlanCache] = None,
+    certify: bool = True,
+    check: bool = False,
+) -> ReplayReport:
+    """Drive ``steps`` closed-loop ticks and return the transcript.
+
+    Args:
+        config: the workload definition (tiers, trace, policy).
+        steps: how many execute→observe→replan ticks to run.
+        seed: base seed shared by the trace and every replan.
+        cache: plan cache reused across ticks (one is created when
+            omitted — sharing it is what makes reused components free).
+        certify: attach and verify lower-bound certificates on every
+            plan, patched or not.
+        check: after every ``plan_delta``, run a full :func:`plan` of
+            the patched instance against the same cache and require a
+            byte-identical schedule (raises :class:`ReplayMismatch`).
+    """
+    if steps < 1:
+        raise ValueError("a replay needs at least one step")
+    system = TieredSystem(config, seed)
+    shared = cache if cache is not None else PlanCache(max_entries=4096)
+    prior: PlanResult = plan(
+        system.instance(), "auto", seed, cache=shared, certify=certify
+    )
+    records: List[ReplayStepRecord] = []
+    for _ in range(steps):
+        executed = _execute_first_round(system, prior)
+        tick = system.step()
+        result: DeltaPlanResult = plan_delta(
+            prior, tick.delta, cache=shared, certify=certify
+        )
+        if check:
+            assert result.instance is not None
+            full = plan(result.instance, "auto", seed, cache=shared, certify=certify)
+            if rounds_digest(full.schedule.rounds) != rounds_digest(
+                result.schedule.rounds
+            ):
+                raise ReplayMismatch(
+                    f"step {tick.time}: patched schedule differs from full replan"
+                )
+        records.append(
+            ReplayStepRecord(
+                time=tick.time,
+                delta_changes=tick.delta.num_changes,
+                executed=executed,
+                pending=tick.pending,
+                rounds=result.schedule.num_rounds,
+                lower_bound=(
+                    result.certificate.bound if result.certificate is not None else None
+                ),
+                components_reused=result.components_reused,
+                components_patched=result.components_patched,
+                components_resolved=result.components_resolved,
+                schedule_digest=rounds_digest(result.schedule.rounds),
+                tier_population=tick.tier_population,
+            )
+        )
+        prior = result
+    return ReplayReport(
+        seed=seed,
+        steps=tuple(records),
+        tier_names=tuple(t.name for t in config.tiers),
+        final_digest=rounds_digest(prior.schedule.rounds),
+        checked=check,
+    )

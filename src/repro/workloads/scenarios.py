@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.cluster.disk import Disk
+from repro.core.problem import MigrationInstance
 from repro.cluster.item import DataItem
 from repro.cluster.layout import Layout, balanced_target, spread_onto
 from repro.cluster.system import MigrationPlanContext, StorageCluster
@@ -35,7 +36,7 @@ class Scenario:
     context: MigrationPlanContext
 
     @property
-    def instance(self):
+    def instance(self) -> MigrationInstance:
         return self.context.instance
 
 

@@ -186,3 +186,73 @@ class TestTamperRejection:
         )
         with pytest.raises(CertificationError):
             certify(inst, sched, certificate=forged)
+
+
+class TestPatchCertificates:
+    def _certificate(self):
+        from repro.checks.certify import make_patch_certificate
+        from repro.core.delta import InstanceDelta
+
+        delta = InstanceDelta(add_moves=(("a", "b"),))
+        prior_rounds = [[0], [1]]
+        result_rounds = [[0, 2], [1]]
+        cert = make_patch_certificate(
+            prior_rounds,
+            delta.canonical_payload(),
+            result_rounds,
+            [("fp0", "reused"), ("fp1", "patched")],
+        )
+        return cert, delta, prior_rounds, result_rounds
+
+    def test_round_trips_and_verifies(self):
+        from repro.checks.certify import (
+            patch_certificate_from_json,
+            patch_certificate_to_json,
+            verify_patch_certificate,
+        )
+
+        cert, delta, prior_rounds, result_rounds = self._certificate()
+        back = patch_certificate_from_json(
+            json.loads(json.dumps(patch_certificate_to_json(cert)))
+        )
+        assert back == cert
+        verify_patch_certificate(
+            back, prior_rounds, delta.canonical_payload(), result_rounds
+        )
+
+    def test_rejects_tampered_rounds(self):
+        from repro.checks.certify import verify_patch_certificate
+
+        cert, delta, prior_rounds, _result_rounds = self._certificate()
+        with pytest.raises(CertificationError, match="result digest"):
+            verify_patch_certificate(
+                cert, prior_rounds, delta.canonical_payload(), [[0], [1, 2]]
+            )
+
+    def test_rejects_unknown_disposition(self):
+        from repro.checks.certify import (
+            PatchCertificate,
+            verify_patch_certificate,
+        )
+
+        cert, delta, prior_rounds, result_rounds = self._certificate()
+        bad = PatchCertificate(
+            prior_digest=cert.prior_digest,
+            delta_digest=cert.delta_digest,
+            result_digest=cert.result_digest,
+            dispositions=(("fp0", "improvised"),),
+        )
+        with pytest.raises(CertificationError, match="disposition"):
+            verify_patch_certificate(
+                bad, prior_rounds, delta.canonical_payload(), result_rounds
+            )
+
+    def test_delta_order_is_part_of_identity(self):
+        from repro.checks.certify import delta_digest
+        from repro.core.delta import InstanceDelta
+
+        d1 = InstanceDelta(add_moves=(("a", "b"), ("c", "d")))
+        d2 = InstanceDelta(add_moves=(("c", "d"), ("a", "b")))
+        assert delta_digest(d1.canonical_payload()) != delta_digest(
+            d2.canonical_payload()
+        )

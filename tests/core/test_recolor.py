@@ -185,3 +185,45 @@ class TestPaletteGrowth:
         assert new == 1
         assert state.try_color_edge(eids[1])
         state.validate(require_complete=True)
+
+
+class TestPreload:
+    def test_preload_assigns_valid_colors(self):
+        _g, eids, state = make_state(
+            [("a", "b"), ("b", "c"), ("a", "c")], {"a": 1, "b": 1, "c": 1}, 3
+        )
+        rejected = state.preload({eids[0]: 0, eids[1]: 1, eids[2]: 2})
+        assert rejected == []
+        assert state.uncolored == set()
+
+    def test_preload_rejects_capacity_conflicts(self):
+        # Both edges share endpoint a (c=1); the same color cannot hold both.
+        _g, eids, state = make_state(
+            [("a", "b"), ("a", "c")], {"a": 1, "b": 1, "c": 1}, 2
+        )
+        rejected = state.preload({eids[0]: 0, eids[1]: 0})
+        assert rejected == [eids[1]]
+        assert eids[1] in state.uncolored
+
+    def test_preload_rejects_out_of_range_colors(self):
+        _g, eids, state = make_state([("a", "b")], {"a": 1, "b": 1}, 2)
+        assert state.preload({eids[0]: 5}) == [eids[0]]
+
+    def test_preload_accounts_self_loops_twice(self):
+        g = Multigraph()
+        eid = g.add_edge("a", "a")
+        state = ColoringState(g, {"a": 1}, 1)
+        # A self-loop needs two capacity slots; c=1 cannot host it.
+        assert state.preload({eid: 0}) == [eid]
+
+    def test_preload_is_order_independent(self):
+        # Mapping iteration never matters: edges load in ascending id.
+        _g, eids, state_a = make_state(
+            [("a", "b"), ("a", "b")], {"a": 1, "b": 1}, 1
+        )
+        _g2, eids2, state_b = make_state(
+            [("a", "b"), ("a", "b")], {"a": 1, "b": 1}, 1
+        )
+        first = state_a.preload({eids[0]: 0, eids[1]: 0})
+        second = state_b.preload({eids2[1]: 0, eids2[0]: 0})
+        assert first == second == [eids[1]]

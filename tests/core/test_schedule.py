@@ -73,3 +73,17 @@ class TestRoundLoads:
         e0, e1 = path_instance.graph.edge_ids()
         loads = MigrationSchedule([[e0, e1]]).round_loads(path_instance, 0)
         assert loads == {"a": 1, "b": 2, "c": 1}
+
+
+class TestRestrict:
+    def test_restrict_keeps_round_indices(self):
+        sched = MigrationSchedule([[0, 1], [2], [3, 4]])
+        assert sched.restrict([1, 3]) == {1: 0, 3: 2}
+
+    def test_restrict_empty_selection(self):
+        sched = MigrationSchedule([[0], [1]])
+        assert sched.restrict([]) == {}
+
+    def test_restrict_ignores_unknown_edges(self):
+        sched = MigrationSchedule([[0], [1]])
+        assert sched.restrict([1, 99]) == {1: 1}

@@ -2,18 +2,29 @@
 
 import pytest
 
+from repro.core.delta import DeltaError, InstanceDelta
 from repro.core.errors import ScheduleValidationError
-from repro.extensions.online import POLICIES, run_online
+from repro.extensions.online import (
+    POLICIES,
+    OnlineInstance,
+    arrivals_to_deltas,
+    run_online,
+)
 
 
 CAPS = {"a": 2, "b": 2, "c": 2, "d": 2}
 
 
+def deltas(arrivals):
+    """Arrival batches in the canonical delta-stream form."""
+    return arrivals_to_deltas(arrivals)
+
+
 class TestBasics:
     def test_single_batch_matches_offline(self):
-        arrivals = {0: [("a", "b")] * 4}
+        stream = deltas({0: [("a", "b")] * 4})
         for policy in POLICIES:
-            report = run_online(arrivals, CAPS, policy=policy)
+            report = run_online(stream, CAPS, policy=policy)
             # 4 parallel items, c=2 -> 2 rounds offline.
             assert report.makespan == 2
             assert len(report.timeline) == 4
@@ -23,23 +34,100 @@ class TestBasics:
         assert report.makespan == 1  # one empty tick at round 0
         assert report.timeline == {}
 
+    def test_sequence_of_deltas(self):
+        """A plain sequence works: index = round number."""
+        stream = [
+            InstanceDelta(add_moves=(("a", "b"),)),
+            InstanceDelta(),
+            InstanceDelta(add_moves=(("b", "c"),)),
+        ]
+        report = run_online(stream, CAPS)
+        assert sorted(report.timeline) == [0, 1]
+        assert report.timeline[1][0] == 2  # arrived at round 2
+
     def test_unknown_policy(self):
         with pytest.raises(ValueError):
-            run_online({0: [("a", "b")]}, CAPS, policy="psychic")
+            run_online(deltas({0: [("a", "b")]}), CAPS, policy="psychic")
+
+    def test_non_delta_sequence_rejected(self):
+        with pytest.raises(TypeError, match="InstanceDelta"):
+            run_online([("a", "b")], CAPS)
 
     def test_every_move_completes_once(self):
-        arrivals = {0: [("a", "b"), ("b", "c")], 1: [("c", "d"), ("d", "a")]}
+        stream = deltas(
+            {0: [("a", "b"), ("b", "c")], 1: [("c", "d"), ("d", "a")]}
+        )
         for policy in POLICIES:
-            report = run_online(arrivals, CAPS, policy=policy)
+            report = run_online(stream, CAPS, policy=policy)
             assert sorted(report.timeline) == [0, 1, 2, 3]
             for idx, (arrived, done) in report.timeline.items():
                 assert done > arrived
 
 
+class TestDeltaEdits:
+    """remove/retarget/capacity entries edit the pending set mid-run."""
+
+    def test_remove_cancels_pending_move(self):
+        stream = {
+            0: InstanceDelta(add_moves=(("a", "b"), ("a", "b"), ("a", "b"))),
+            1: InstanceDelta(remove_moves=(("a", "b"),)),
+        }
+        report = run_online(stream, {"a": 1, "b": 1})
+        # Three admitted, one cancelled before executing.
+        assert len(report.timeline) == 2
+        assert len(report.cancelled) == 1
+        assert report.cancelled[0] not in report.timeline
+
+    def test_retarget_redirects_pending_move(self):
+        stream = {
+            0: InstanceDelta(add_moves=(("a", "b"), ("a", "b"))),
+            1: InstanceDelta(retarget_moves=(("a", "b", "c"),)),
+        }
+        report = run_online(stream, {"a": 2, "b": 1, "c": 1})
+        assert sorted(report.moves.values()) == [("a", "b"), ("a", "c")]
+        assert len(report.timeline) == 2
+
+    def test_capacity_change_takes_effect(self):
+        # c_v doubles after round 0: the remaining 3 moves fit in 2 rounds.
+        stream = {
+            0: InstanceDelta(add_moves=(("a", "b"),) * 4),
+            1: InstanceDelta(capacity_changes=(("a", 2), ("b", 2))),
+        }
+        report = run_online(stream, {"a": 1, "b": 1})
+        assert report.makespan == 3
+
+    def test_remove_without_match_raises(self):
+        stream = {0: InstanceDelta(remove_moves=(("a", "b"),))}
+        with pytest.raises(DeltaError, match="no pending move"):
+            run_online(stream, CAPS)
+
+    def test_fifo_rejects_edits(self):
+        stream = {
+            0: InstanceDelta(add_moves=(("a", "b"),)),
+            1: InstanceDelta(remove_moves=(("a", "b"),)),
+        }
+        with pytest.raises(DeltaError, match="fifo"):
+            run_online(stream, CAPS, policy="fifo")
+
+
+class TestOnlineInstanceAdapter:
+    def test_round_trips_arrival_only_streams(self):
+        arrivals = {0: [("a", "b")], 2: [("b", "c"), ("c", "d")]}
+        instance = OnlineInstance(arrivals=arrivals, capacities=CAPS)
+        rebuilt = OnlineInstance.from_deltas(instance.deltas(), CAPS)
+        assert {r: tuple(b) for r, b in arrivals.items()} == dict(
+            rebuilt.arrivals
+        )
+
+    def test_from_deltas_rejects_edits(self):
+        stream = {0: InstanceDelta(remove_moves=(("a", "b"),))}
+        with pytest.raises(DeltaError, match="arrival-only"):
+            OnlineInstance.from_deltas(stream, CAPS)
+
+
 class TestResponseTimes:
     def test_arrivals_cannot_complete_before_arriving(self):
-        arrivals = {3: [("a", "b")]}
-        report = run_online(arrivals, CAPS)
+        report = run_online(deltas({3: [("a", "b")]}), CAPS)
         arrived, done = report.timeline[0]
         assert arrived == 3
         assert done >= 4
@@ -48,13 +136,13 @@ class TestResponseTimes:
         # A long first batch hogging disk a; a second batch between
         # other disks arrives later.  Replan runs it immediately;
         # FIFO convoys it behind the first batch.
-        arrivals = {
+        stream = deltas({
             0: [("a", "b")] * 8,
             1: [("c", "d")],
-        }
+        })
         caps = {"a": 1, "b": 1, "c": 1, "d": 1}
-        replan = run_online(arrivals, caps, policy="replan")
-        fifo = run_online(arrivals, caps, policy="fifo")
+        replan = run_online(stream, caps, policy="replan")
+        fifo = run_online(stream, caps, policy="fifo")
         resp_replan = replan.timeline[8][1] - replan.timeline[8][0]
         resp_fifo = fifo.timeline[8][1] - fifo.timeline[8][0]
         assert resp_replan < resp_fifo
@@ -62,9 +150,9 @@ class TestResponseTimes:
         assert replan.makespan <= fifo.makespan
 
     def test_plan_count_accounting(self):
-        arrivals = {0: [("a", "b")] * 4, 2: [("b", "c")]}
-        replan = run_online(arrivals, CAPS, policy="replan")
-        fifo = run_online(arrivals, CAPS, policy="fifo")
+        stream = deltas({0: [("a", "b")] * 4, 2: [("b", "c")]})
+        replan = run_online(stream, CAPS, policy="replan")
+        fifo = run_online(stream, CAPS, policy="fifo")
         assert fifo.plans_computed == 2  # one per batch
         assert replan.plans_computed >= 2  # one per busy round
 
@@ -73,14 +161,15 @@ class TestFeasibility:
     @pytest.mark.parametrize("policy", POLICIES)
     def test_rounds_respect_capacity(self, policy):
         # The simulation itself raises if a round oversubscribes.
-        arrivals = {
+        stream = deltas({
             r: [("a", "b"), ("b", "c"), ("c", "a")] for r in range(0, 9, 3)
-        }
-        report = run_online(arrivals, {"a": 1, "b": 1, "c": 1}, policy=policy)
+        })
+        report = run_online(stream, {"a": 1, "b": 1, "c": 1}, policy=policy)
         assert len(report.timeline) == 9
 
     def test_mean_and_max_response(self):
-        arrivals = {0: [("a", "b"), ("a", "b")]}
-        report = run_online(arrivals, {"a": 1, "b": 1})
+        report = run_online(
+            deltas({0: [("a", "b"), ("a", "b")]}), {"a": 1, "b": 1}
+        )
         assert report.mean_response == pytest.approx(1.5)
         assert report.max_response == 2

@@ -162,6 +162,34 @@ class TestGenerateAndGantt:
         assert "utilization" in out
 
 
+class TestWorkloadCommand:
+    SHORT = ["workload", "--steps", "12", "--items", "40", "--seed", "3"]
+
+    def test_replay_prints_summary(self, capsys):
+        assert main(self.SHORT) == 0
+        out = capsys.readouterr().out
+        assert "replayed 12 steps" in out
+        assert "final schedule digest:" in out
+
+    def test_report_bytes_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.SHORT + ["--report", str(a)]) == 0
+        assert main(self.SHORT + ["--report", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        data = json.loads(a.read_text())
+        assert data["kind"] == "workload_replay"
+        assert data["num_steps"] == 12
+
+    def test_check_flag_verifies_identity(self, capsys):
+        assert main(self.SHORT + ["--check"]) == 0
+        assert "byte-identity" in capsys.readouterr().out
+
+    def test_invalid_config_fails(self, capsys):
+        assert main(["workload", "--items", "0"]) == 2
+        assert "invalid workload configuration" in capsys.readouterr().err
+
+
 class TestFuzzCommand:
     def test_short_fuzz(self, capsys):
         assert main(["fuzz", "--trials", "3", "--seed", "2"]) == 0
@@ -202,6 +230,34 @@ class TestPlanStoreFlag:
         # The warmed replan must reproduce the direct schedule's shape.
         assert main(args) == 0
         assert capsys.readouterr().out == direct
+
+    def test_warm_report_flags_cache_hit_with_zeroed_timings(
+        self, tmp_path, capsys
+    ):
+        workload = tmp_path / "w.json"
+        store = tmp_path / "plans.sqlite"
+        main(["generate", str(workload), "--disks", "8", "--items", "40"])
+        capsys.readouterr()
+
+        cold_report = tmp_path / "cold.json"
+        args = ["plan", str(workload), "--json", "--store", str(store)]
+        assert main(args + ["--report", str(cold_report)]) == 0
+        capsys.readouterr()
+        cold = json.loads(cold_report.read_text())
+        assert cold["cache_hit"] is False
+
+        # Warm runs are fully cache-served: the report flags the hit,
+        # zeroes the (noisy) stage timings, and is byte-stable.
+        warm_a = tmp_path / "warm_a.json"
+        warm_b = tmp_path / "warm_b.json"
+        assert main(args + ["--report", str(warm_a)]) == 0
+        assert main(args + ["--report", str(warm_b)]) == 0
+        capsys.readouterr()
+        warm = json.loads(warm_a.read_text())
+        assert warm["cache_hit"] is True
+        assert set(warm["stage_timings"].values()) == {0.0}
+        assert warm_a.read_bytes() == warm_b.read_bytes()
+        assert warm["rounds"] == cold["rounds"]
 
     def test_run_accepts_store(self, tmp_path, capsys):
         store = tmp_path / "plans.sqlite"

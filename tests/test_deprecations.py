@@ -12,6 +12,7 @@ import pytest
 
 from repro import compat
 from repro.core.solver import plan_migration
+from repro.extensions.online import run_online
 from repro.pipeline import PlanCache, plan
 from repro.runtime import MigrationExecutor
 from repro.workloads.scenarios import decommission_scenario
@@ -56,18 +57,20 @@ class TestPlanMigrationShim:
         assert legacy.method == canonical.method
 
 
-class TestExecutorPlanCacheKwarg:
-    def test_plan_cache_kwarg_warns_and_still_works(self):
-        cache = PlanCache()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            executor = scenario_executor(plan_cache=cache)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "cache=" in str(deprecations[0].message)
-        assert executor.plan_cache is cache
+class TestExecutorCacheKwarg:
+    def test_plan_cache_kwarg_is_gone(self):
+        """The deprecation cycle ended: plan_cache= is now a TypeError."""
+        with pytest.raises(TypeError, match="plan_cache"):
+            scenario_executor(plan_cache=PlanCache())
+
+    def test_from_state_plan_cache_kwarg_is_gone(self):
+        executor = scenario_executor(cache=PlanCache())
+        state = executor.get_state()
+        scenario = decommission_scenario(seed=1)
+        with pytest.raises(TypeError, match="plan_cache"):
+            MigrationExecutor.from_state(
+                scenario.cluster, state, plan_cache=PlanCache()
+            )
 
     def test_canonical_cache_kwarg_does_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:
@@ -78,13 +81,44 @@ class TestExecutorPlanCacheKwarg:
         ]
         assert executor.plan_cache is not None
 
+
+class TestOnlineArrivalsMappingShim:
+    def test_mapping_of_rounds_warns_once(self):
+        arrivals = {0: [("a", "b")], 1: [("b", "c")]}
+        caps = {"a": 1, "b": 1, "c": 1}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_online(arrivals, caps)
+            run_online(arrivals, caps)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "InstanceDelta" in str(deprecations[0].message)
+
+    def test_shim_matches_delta_stream(self):
+        from repro.core.delta import InstanceDelta
+
+        arrivals = {0: [("a", "b"), ("a", "b")], 2: [("b", "c")]}
+        caps = {"a": 1, "b": 1, "c": 1}
+        deltas = {
+            r: InstanceDelta(add_moves=tuple(batch))
+            for r, batch in arrivals.items()
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_online(arrivals, caps)
+        canonical = run_online(deltas, caps)
+        assert legacy.rounds == canonical.rounds
+        assert legacy.timeline == canonical.timeline
+
     def test_entry_points_warn_independently(self):
         """One warning per entry point, not one per process total."""
         scenario = decommission_scenario(seed=1)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             plan_migration(scenario.instance)
-            scenario_executor(plan_cache=PlanCache())
+            run_online({0: [("a", "b")]}, {"a": 1, "b": 1})
         deprecations = [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]

@@ -1,0 +1,182 @@
+"""Tests for temperature-driven tiered workloads and closed-loop replay."""
+
+import pytest
+
+from repro.workloads.replay import ReplayReport, replay
+from repro.workloads.temperature import (
+    DEFAULT_TIERS,
+    AccessTrace,
+    TemperatureModel,
+    TieredSystem,
+    TieredWorkloadConfig,
+    TierPolicy,
+    TierSpec,
+    temperature_stream,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(num_items=40, accesses_per_step=24, drift_interval=5)
+    defaults.update(overrides)
+    return TieredWorkloadConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_tiers_must_be_hottest_first(self):
+        with pytest.raises(ValueError, match="hottest"):
+            TieredWorkloadConfig(
+                tiers=(
+                    TierSpec("cold", 4, 1, 0.0),
+                    TierSpec("hot", 2, 4, 3.0),
+                )
+            )
+
+    def test_coldest_tier_must_catch_everything(self):
+        with pytest.raises(ValueError, match="coldest"):
+            TieredWorkloadConfig(
+                tiers=(
+                    TierSpec("hot", 2, 4, 3.0),
+                    TierSpec("warm", 4, 2, 1.0),
+                )
+            )
+
+    def test_tier_spec_validation(self):
+        with pytest.raises(ValueError, match="disk"):
+            TierSpec("hot", 0, 4, 3.0)
+        with pytest.raises(ValueError, match="capacity"):
+            TierSpec("hot", 2, 0, 3.0)
+
+    def test_hysteresis_must_not_amplify(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            small_config(hysteresis=0.5)
+
+
+class TestAccessTrace:
+    def test_deterministic_for_a_seed(self):
+        cfg = small_config()
+        a = AccessTrace(cfg, seed=9)
+        b = AccessTrace(cfg, seed=9)
+        for _ in range(12):
+            assert a.step() == b.step()
+
+    def test_zipf_head_is_hot(self):
+        cfg = small_config(drift_interval=0, accesses_per_step=64)
+        trace = AccessTrace(cfg, seed=1)
+        totals = {}
+        for _ in range(50):
+            for item, n in trace.step().items():
+                totals[item] = totals.get(item, 0) + n
+        # Item 0 starts at rank 0 and no drift happens: it dominates.
+        assert totals[0] == max(totals.values())
+
+    def test_drift_changes_the_ranking(self):
+        cfg = small_config(drift_interval=1, drift_swaps=20)
+        trace = AccessTrace(cfg, seed=3)
+        trace.step()
+        before = list(trace._rank_of_item)
+        trace.step()
+        assert trace._rank_of_item != before
+
+
+class TestTemperatureModel:
+    def test_ewma_update(self):
+        cfg = small_config(num_items=2, ewma_alpha=0.5)
+        model = TemperatureModel(cfg)
+        model.update({0: 4})
+        assert model.temperature == [2.0, 0.0]
+        model.update({})
+        assert model.temperature == [1.0, 0.0]
+
+
+class TestTierPolicy:
+    def test_promotion_needs_margin(self):
+        cfg = small_config(hysteresis=1.5)
+        policy = TierPolicy(cfg)
+        cold = len(cfg.tiers) - 1
+        hot_threshold = cfg.tiers[0].threshold
+        # Above the threshold but inside the dead band: stays put.
+        assert policy.desired_tier(hot_threshold * 1.1, cold) == cold
+        assert policy.desired_tier(hot_threshold * 1.6, cold) == 0
+
+    def test_demotion_needs_margin(self):
+        cfg = small_config(hysteresis=1.5)
+        policy = TierPolicy(cfg)
+        warm_threshold = cfg.tiers[1].threshold
+        # Just below tier 1's threshold: hysteresis holds it at tier 1.
+        assert policy.desired_tier(warm_threshold * 0.9, 1) == 1
+        assert policy.desired_tier(warm_threshold * 0.1, 1) == 2
+
+
+class TestTieredSystem:
+    def test_emits_adds_as_items_heat_up(self):
+        system = TieredSystem(small_config(), seed=2)
+        adds = 0
+        for _ in range(30):
+            adds += len(system.step().delta.add_moves)
+        assert adds > 0
+        assert system.pending_moves > 0
+
+    def test_instance_matches_pending(self):
+        system = TieredSystem(small_config(), seed=2)
+        for _ in range(20):
+            system.step()
+        instance = system.instance()
+        assert instance.num_items == system.pending_moves
+
+    def test_complete_pair_lands_the_item(self):
+        system = TieredSystem(small_config(), seed=2)
+        step = None
+        for _ in range(30):
+            step = system.step()
+            if step.delta.add_moves:
+                break
+        assert step is not None and step.delta.add_moves
+        src, dst = step.delta.add_moves[0]
+        before = system.pending_moves
+        system.complete_pair(src, dst)
+        assert system.pending_moves == before - 1
+        assert dst in system.item_disk
+        # The completion surfaces as a remove in the next delta.
+        follow = system.step()
+        assert (src, dst) in follow.delta.remove_moves
+
+    def test_complete_unknown_pair_raises(self):
+        system = TieredSystem(small_config(), seed=2)
+        with pytest.raises(ValueError, match="no pending move"):
+            system.complete_pair("hot00", "cold00")
+
+    def test_stream_is_deterministic(self):
+        cfg = small_config(capacity_jitter=0.1)
+        a = temperature_stream(cfg, 25, seed=4)
+        b = temperature_stream(cfg, 25, seed=4)
+        assert [s.delta for s in a] == [s.delta for s in b]
+        assert [s.tier_population for s in a] == [s.tier_population for s in b]
+
+    def test_default_tiers_shape(self):
+        system = TieredSystem(TieredWorkloadConfig(num_items=10), seed=0)
+        assert len(system.capacities) == sum(t.disks for t in DEFAULT_TIERS)
+        assert system.capacities["hot00"] == 4
+        assert system.capacities["cold11"] == 1
+
+
+class TestReplay:
+    def test_replay_is_byte_deterministic(self):
+        cfg = small_config()
+        a = replay(cfg, 15, seed=6)
+        b = replay(cfg, 15, seed=6)
+        assert isinstance(a, ReplayReport)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_replay_executes_transfers(self):
+        report = replay(small_config(), 25, seed=6)
+        assert report.total_changes > 0
+        assert report.total_executed > 0
+        assert all(s.lower_bound is not None for s in report.steps)
+
+    def test_check_mode_verifies_identity(self):
+        report = replay(small_config(), 10, seed=6, check=True)
+        assert report.checked
+
+    def test_needs_at_least_one_step(self):
+        with pytest.raises(ValueError, match="at least one"):
+            replay(small_config(), 0)
