@@ -46,6 +46,11 @@ Package map:
 * :mod:`repro.obs` — tracing, metrics and profiling: one span/counter
   substrate shared by the pipeline, the executor and the cluster
   engine (``repro-migrate stats``).
+* :mod:`repro.exact` — exact branch-and-bound optimization for small
+  instances: proven-optimal schedules under makespan, bounded-color
+  and group-completion objectives, tamper-evident optimality
+  certificates, and the true approximation-gap harness
+  (``repro-migrate gap``).
 * :mod:`repro.workloads` — transfer-graph generators (load-balancing
   deltas, disk add/remove, synthetic sweeps) plus the
   temperature-driven tiered workload: seeded
@@ -58,20 +63,32 @@ Package map:
 """
 
 from repro.core.delta import InstanceDelta, apply_delta
+from repro.core.objectives import (
+    BoundedColorObjective,
+    GroupCompletionObjective,
+    MakespanObjective,
+    Objective,
+)
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.core.solver import plan_migration
 from repro.core.lower_bounds import lb1, lb2, lower_bound
+from repro.exact import OptimalityCertificate, solve_exact
 from repro.graphs.multigraph import Multigraph
 from repro.pipeline import DeltaPlanResult, PlanCache, PlanResult, plan, plan_delta
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BoundedColorObjective",
+    "GroupCompletionObjective",
     "InstanceDelta",
+    "MakespanObjective",
     "MigrationInstance",
     "MigrationSchedule",
     "Multigraph",
+    "Objective",
+    "OptimalityCertificate",
     "PlanCache",
     "DeltaPlanResult",
     "PlanResult",
@@ -79,6 +96,7 @@ __all__ = [
     "plan",
     "plan_delta",
     "plan_migration",
+    "solve_exact",
     "lower_bound",
     "lb1",
     "lb2",

@@ -18,7 +18,9 @@ Three pillars, one theme: *don't trust the solver, check it*.
   are process-independent.
 * :mod:`repro.checks.engine` — a differential harness proving the flat
   CSR array backend byte-identical to the reference object engine
-  (rounds, digests, certificates) across the generator corpus.
+  (rounds, digests, certificates) across the generator corpus, plus
+  the exact-vs-heuristic battery sandwiching the Theorem 5.1 solver
+  between a verified lower bound and a verified optimum.
 
 All of them are wired into ``repro-migrate check`` and the CI
 ``static-analysis`` job.
@@ -36,6 +38,7 @@ from repro.checks.certify import (
     certify,
     make_certificate,
     verify_certificate,
+    verify_optimality_certificate,
     verify_schedule,
 )
 from repro.checks.callgraph import CallGraph, build_call_graph
@@ -43,7 +46,9 @@ from repro.checks.engine import (
     EngineCase,
     EngineReport,
     check_engine_equivalence,
+    check_exact_vs_heuristic,
     compare_backends,
+    compare_exact_vs_heuristic,
 )
 from repro.checks.flow import (
     FLOW_RULES,
@@ -89,11 +94,14 @@ __all__ = [
     "certify",
     "check_determinism",
     "check_engine_equivalence",
+    "check_exact_vs_heuristic",
     "compare_backends",
+    "compare_exact_vs_heuristic",
     "lint_tree",
     "make_certificate",
     "parse_suppressions",
     "run_type_gate",
     "verify_certificate",
+    "verify_optimality_certificate",
     "verify_schedule",
 ]

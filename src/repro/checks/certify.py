@@ -427,6 +427,39 @@ def certificate_from_json(
 
 
 # ----------------------------------------------------------------------
+# optimality certificates (repro.exact)
+# ----------------------------------------------------------------------
+
+def verify_optimality_certificate(
+    instance: MigrationInstance,
+    objective: Any,
+    schedule: MigrationSchedule,
+    certificate: Any,
+) -> int:
+    """Verify a :class:`repro.exact.OptimalityCertificate`; return its value.
+
+    The lower-bound certificates above prove a schedule is *good*; an
+    optimality certificate proves it is *best*.  This is the checks-side
+    entry point: it re-establishes every claim via
+    :func:`repro.exact.verify_optimality` (digest bindings, feasibility,
+    value, and the proof — recomputed bound or deterministic replay) and
+    translates rejection into the certification stack's usual
+    :class:`CertificationError`.
+
+    Raises:
+        CertificationError: if any part of the certificate fails to
+            re-derive from the instance, objective and schedule.
+    """
+    from repro.exact.search import verify_optimality
+
+    try:
+        verify_optimality(instance, objective, schedule, certificate)
+    except ValueError as exc:
+        raise CertificationError(f"optimality certificate rejected: {exc}") from exc
+    return int(certificate.value)
+
+
+# ----------------------------------------------------------------------
 # patch certificates (incremental replanning)
 # ----------------------------------------------------------------------
 

@@ -215,6 +215,102 @@ def _first_round_divergence(
     return "round count"
 
 
+# ----------------------------------------------------------------------
+# exact-vs-heuristic battery
+# ----------------------------------------------------------------------
+
+#: Small-instance corpus for the exact battery — every family again,
+#: sized inside the exact solver's caps (≤ 16 items, ≤ 14 disks) so
+#: each case has a *provable* optimum to compare the heuristic against.
+EXACT_CORPUS: Tuple[Tuple[str, Callable[[], MigrationInstance]], ...] = (
+    (
+        "random/mixed-caps",
+        lambda: random_instance(6, 14, capacities={1: 0.4, 2: 0.4, 3: 0.2}, seed=11),
+    ),
+    (
+        "random/unit-caps",
+        lambda: random_instance(7, 15, uniform_capacity=1, seed=5),
+    ),
+    (
+        "random/all-even",
+        lambda: random_instance(6, 16, uniform_capacity=2, seed=23),
+    ),
+    (
+        "bipartite/disk-addition",
+        lambda: bipartite_instance(4, 3, 14, old_capacity=1, new_capacity=2, seed=3),
+    ),
+    (
+        "clique/figure-2",
+        lambda: clique_instance(4, 2, capacity=1),
+    ),
+    (
+        "hotspot/hub-drain",
+        lambda: hotspot_instance(7, 2, 15, seed=9),
+    ),
+    (
+        "regular/config-model",
+        lambda: regular_instance(8, 4, capacity=2, seed=13),
+    ),
+)
+
+
+def compare_exact_vs_heuristic(name: str, instance: MigrationInstance) -> EngineCase:
+    """Sandwich the Theorem 5.1 heuristic between proof obligations.
+
+    The exact branch-and-bound must satisfy ``verified LB ≤ exact ≤
+    heuristic`` — the left inequality against the independently
+    re-verified lower-bound certificate, the right against the general
+    solver it uses as incumbent — and its optimality certificate must
+    survive :func:`repro.checks.certify.verify_optimality_certificate`.
+    The reported digest covers both schedules, so a regression in
+    either solver's bytes shows up even when the round counts agree.
+    """
+    from repro.checks.certify import (
+        make_certificate,
+        verify_certificate,
+        verify_optimality_certificate,
+    )
+    from repro.core.general import general_schedule
+    from repro.exact.search import solve_exact
+
+    res = solve_exact(instance)
+    heuristic = general_schedule(instance, seed=0)
+    lb = verify_certificate(instance, make_certificate(instance))
+    problems: List[str] = []
+    if res.value > heuristic.num_rounds:
+        problems.append(
+            f"exact {res.value} rounds exceeds heuristic {heuristic.num_rounds}"
+        )
+    if res.value < lb:
+        problems.append(f"exact {res.value} rounds below verified LB {lb}")
+    try:
+        verify_optimality_certificate(
+            instance, res.objective, res.schedule, res.certificate
+        )
+    except Exception as exc:  # CertificationError — report, don't abort the battery
+        problems.append(f"optimality certificate rejected: {exc}")
+    if problems:
+        return EngineCase(name=name, ok=False, detail="; ".join(problems))
+    digest = hashlib.sha256(
+        (
+            schedule_digest(res.schedule.rounds)
+            + schedule_digest(heuristic.rounds)
+        ).encode("utf-8")
+    ).hexdigest()
+    return EngineCase(name=name, ok=True, rounds=res.value, digest=digest)
+
+
+def check_exact_vs_heuristic(
+    corpus: Optional[Sequence[Tuple[str, Callable[[], MigrationInstance]]]] = None,
+) -> EngineReport:
+    """Run the exact-vs-heuristic battery over the small corpus."""
+    cases = [
+        compare_exact_vs_heuristic(f"exact-vs-heuristic/{name}", factory())
+        for name, factory in (corpus or EXACT_CORPUS)
+    ]
+    return EngineReport(cases=tuple(cases))
+
+
 def check_engine_equivalence(
     corpus: Optional[
         Sequence[Tuple[str, str, Callable[[], MigrationInstance]]]

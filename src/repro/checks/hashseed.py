@@ -197,6 +197,20 @@ sys.stdout.write(json.dumps(payloads[0], sort_keys=True))
 """
 
 
+#: Runs the quick approximation-gap sweep — every family exact-solved,
+#: every optimality certificate verified, every heuristic ratio
+#: recorded — and prints the canonical metrics JSON.  The exact
+#: branch-and-bound iterates node/edge arrays and orbit maps; any
+#: hash-order dependence anywhere in that search (or in the certificate
+#: digests) changes the bytes.  argv: (none)
+GAP_DRIVER = """\
+import sys
+from repro.exact.gap import canonical_json, collect_gap_metrics
+
+sys.stdout.write(canonical_json(collect_gap_metrics(quick=True)))
+"""
+
+
 #: Runs the whole-program flow analyzer over the installed package and
 #: prints the canonical report JSON — call-graph construction, effect
 #: fixpoint, contract checks, and finding order must all be independent
@@ -287,6 +301,7 @@ DEFAULT_PLAN_CASES: Tuple[Tuple[str, int, int, int, str], ...] = (
     ("plan/auto/small", 8, 30, 11, "auto"),
     ("plan/general/medium", 12, 60, 7, "general"),
     ("plan/greedy/medium", 10, 50, 3, "greedy"),
+    ("plan/exact_bb/tiny", 5, 8, 2, "exact_bb"),
 )
 
 
@@ -295,6 +310,7 @@ def check_determinism(
     include_executor: bool = True,
     include_sim: bool = True,
     include_flow: bool = True,
+    include_gap: bool = True,
     hash_seeds: Tuple[int, int] = (0, 1),
 ) -> DeterminismReport:
     """Run the full cross-hash-seed battery.
@@ -345,6 +361,12 @@ def check_determinism(
         checks.append(
             compare_across_hash_seeds(
                 "checks/flow-report", FLOW_DRIVER, [], hash_seeds
+            )
+        )
+    if include_gap:
+        checks.append(
+            compare_across_hash_seeds(
+                "exact/gap-metrics", GAP_DRIVER, [], hash_seeds
             )
         )
     return DeterminismReport(checks=tuple(checks))

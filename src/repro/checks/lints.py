@@ -96,8 +96,8 @@ class LintConfig:
     """What to lint and where the determinism contract applies."""
 
     deterministic_packages: Tuple[str, ...] = (
-        "core", "graphs", "runtime", "pipeline", "obs", "serve", "sim",
-        "workloads",
+        "core", "exact", "graphs", "runtime", "pipeline", "obs", "serve",
+        "sim", "workloads",
     )
     select: Optional[Set[str]] = None  # None = all rules
 

@@ -143,6 +143,11 @@ def _open_plan_cache(store_path: Optional[str], no_cache: bool = False):
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     instance = _load_cli_instance(args)
+    objective = None
+    if args.objective:
+        from repro.core.objectives import load_objective
+
+        objective = load_objective(args.objective)
     tracer = _open_tracer(args.trace_out)
     cache, store = _open_plan_cache(args.store, args.no_cache)
     result = plan(
@@ -155,6 +160,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         certify=args.certify,
         tracer=tracer,
         backend=args.backend,
+        objective=objective,
     )
     if store is not None:
         print(
@@ -189,11 +195,27 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 "yes" if comp.cached else "no",
             )
         print(table.render())
+    if result.objective is not None and result.objective.kind != "makespan":
+        print(
+            f"objective: {result.objective.kind} "
+            f"value={result.objective_value}"
+        )
+        if result.optimality is not None:
+            print(
+                f"optimality proof: {result.optimality.proof} "
+                f"(explored {result.optimality.explored} branches, "
+                f"lower bound {result.optimality.lower_bound})"
+            )
     if args.certify:
         print(
             f"verified lower bound: {result.lower_bound}; "
             f"certified optimal: {result.certified_optimal}"
         )
+        if result.component_optimality:
+            print(
+                f"optimality certificates verified for "
+                f"{len(result.component_optimality)} exact component(s)"
+            )
     if args.report:
         import json
 
@@ -208,6 +230,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             "rounds": schedule.num_rounds,
             "backend": args.backend,
             "seed": args.seed,
+            "objective": result.objective.kind if result.objective else "makespan",
+            "objective_value": result.objective_value,
             "cache_hit": cache_hit,
             "stage_timings": {
                 stage: 0.0 if cache_hit else result.stage_timings[stage]
@@ -233,6 +257,27 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
     return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.exact.gap import render_gap_table, run_gap
+
+    metrics, code = run_gap(
+        quick=args.quick, report_path=args.report, bench_path=args.bench
+    )
+    print(render_gap_table(metrics))
+    total = sum(
+        fam["summary"]["instances"] for fam in metrics["families"].values()
+    )
+    print(
+        f"# {total} instances across {len(metrics['families'])} families, "
+        f"every optimality certificate verified"
+    )
+    if args.report:
+        print(f"gap report written to {args.report}")
+    if args.bench:
+        print(f"bench entry appended to {args.bench}")
+    return code
 
 
 def _print_scenarios() -> None:
@@ -714,6 +759,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         certify,
         check_determinism,
         check_engine_equivalence,
+        check_exact_vs_heuristic,
         lint_tree,
         make_certificate,
         run_type_gate,
@@ -805,6 +851,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             include_executor=not args.fast,
             include_sim=not args.fast,
             include_flow=not args.fast,
+            include_gap=not args.fast,
         )
         if human:
             print("determinism (PYTHONHASHSEED 0 vs 1):")
@@ -850,11 +897,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if human:
             print("engine (array vs object backend):")
             print(engine_report.render())
+        exact_report = check_exact_vs_heuristic()
+        if human:
+            print("engine (exact vs heuristic):")
+            print(exact_report.render())
         summary["gates"]["engine"] = {
-            "ok": engine_report.ok,
-            "cases": len(engine_report.cases),
+            "ok": engine_report.ok and exact_report.ok,
+            "cases": len(engine_report.cases) + len(exact_report.cases),
         }
-        if not engine_report.ok:
+        if not (engine_report.ok and exact_report.ok):
             gate_failed(CHECK_EXIT_ENGINE)
 
     summary["ok"] = exit_code == CHECK_EXIT_OK
@@ -915,11 +966,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "solves through")
     p_plan.add_argument("--certify", action="store_true",
                         help="compose and verify a per-component "
-                             "lower-bound certificate")
+                             "lower-bound certificate (and, where the exact "
+                             "solver ran, an optimality certificate)")
+    p_plan.add_argument("--objective", metavar="PATH", default=None,
+                        help="optimize a JSON objective (see "
+                             "repro.core.objectives: bounded_color, "
+                             "group_completion) instead of makespan; solved "
+                             "to proven optimality by the exact solver")
     p_plan.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a repro.obs JSONL trace of the pipeline "
                              "(see `stats`)")
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_gap = sub.add_parser(
+        "gap",
+        help="true approximation-gap sweep: exact optima vs heuristics "
+             "across generator families (repro.exact.gap)",
+    )
+    p_gap.add_argument("--quick", action="store_true",
+                       help="run the CI subset (2 seeds per family)")
+    p_gap.add_argument("--report", metavar="PATH", default=None,
+                       help="write the canonical metrics JSON (byte-stable "
+                            "across runs and PYTHONHASHSEED values)")
+    p_gap.add_argument("--bench", metavar="PATH", nargs="?", const="BENCH_EXACT.json",
+                       default=None,
+                       help="append a commit-keyed entry to BENCH_EXACT.json "
+                            "(or PATH)")
+    p_gap.set_defaults(func=_cmd_gap)
 
     p_gen = sub.add_parser("generate", help="write a workload instance to JSON")
     p_gen.add_argument("output")

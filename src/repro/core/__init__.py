@@ -12,6 +12,9 @@
 * :mod:`repro.core.baselines` — Saia's 1.5-approximation, the
   homogeneous (``c_v = 1``) scheduler and greedy first-fit.
 * :mod:`repro.core.exact` — brute-force optimum for tiny instances.
+* :mod:`repro.core.objectives` — scheduling objectives beyond makespan
+  (bounded edge coloring, weighted group completion times), consumed
+  by the branch-and-bound solver in :mod:`repro.exact`.
 * :mod:`repro.core.solver` — the public entry point
   :func:`~repro.core.solver.plan_migration`.
 """
@@ -19,11 +22,29 @@
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.core.lower_bounds import lower_bound, lb1, lb2
+from repro.core.objectives import (
+    MAKESPAN,
+    BoundedColorObjective,
+    GroupCompletionObjective,
+    MakespanObjective,
+    Objective,
+    ObjectiveError,
+    load_objective,
+    objective_from_json,
+)
 from repro.core.solver import plan_migration
 
 __all__ = [
+    "MAKESPAN",
+    "BoundedColorObjective",
+    "GroupCompletionObjective",
+    "MakespanObjective",
     "MigrationInstance",
     "MigrationSchedule",
+    "Objective",
+    "ObjectiveError",
+    "load_objective",
+    "objective_from_json",
     "plan_migration",
     "lower_bound",
     "lb1",

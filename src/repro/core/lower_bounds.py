@@ -23,7 +23,6 @@ subset is a self-contained proof of the bound that
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -98,10 +97,22 @@ def lb2_exact_witness(
 ) -> Tuple[List[Node], int]:
     """Exact ``Γ'`` plus a maximizing subset (empty list when Γ' = 0).
 
+    Enumerates *connected* subsets via the shared
+    :func:`repro.exact.subsets.connected_node_subsets` iterator (also
+    used by the branch-and-bound pruner).  That restriction is lossless:
+    a disconnected maximizer splits into components whose half-capacities
+    sum to at most the union's (floor superadditivity) and the mediant
+    inequality then bounds the union's density term by its densest
+    component — see :mod:`repro.exact.subsets`.
+
     Raises:
         ValueError: if the graph has more than ``max_nodes`` nodes
             (the enumeration is exponential).
     """
+    # Imported lazily: repro.exact sits above repro.core in the layer
+    # order, and its search module imports this one.
+    from repro.exact.subsets import connected_node_subsets
+
     nodes = instance.graph.nodes
     if len(nodes) > max_nodes:
         raise ValueError(
@@ -109,12 +120,11 @@ def lb2_exact_witness(
         )
     best = 0
     best_subset: List[Node] = []
-    for size in range(2, len(nodes) + 1):
-        for combo in itertools.combinations(nodes, size):
-            value = subset_bound(instance, combo)
-            if value > best:
-                best = value
-                best_subset = list(combo)
+    for combo in connected_node_subsets(instance, min_size=2):
+        value = subset_bound(instance, combo)
+        if value > best:
+            best = value
+            best_subset = list(combo)
     return best_subset, best
 
 

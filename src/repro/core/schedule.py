@@ -17,12 +17,26 @@ from repro.graphs.multigraph import EdgeId, Node
 
 
 class MigrationSchedule:
-    """An ordered list of rounds; each round is a list of edge ids."""
+    """An ordered list of rounds; each round is a list of edge ids.
+
+    Empty rounds are dropped by default (makespan counts work, not
+    idle time).  Round-indexed objectives — bounded coloring, group
+    completion — treat indices as wall-clock rounds, so their schedules
+    are built with ``keep_empty=True`` and may contain deliberately
+    empty rounds (a maintenance window nothing is allowed in).
+    """
 
     def __init__(
-        self, rounds: Sequence[Sequence[EdgeId]], method: str = "unknown"
+        self,
+        rounds: Sequence[Sequence[EdgeId]],
+        method: str = "unknown",
+        *,
+        keep_empty: bool = False,
     ) -> None:
-        self._rounds: List[List[EdgeId]] = [list(r) for r in rounds if len(r) > 0]
+        if keep_empty:
+            self._rounds: List[List[EdgeId]] = [list(r) for r in rounds]
+        else:
+            self._rounds = [list(r) for r in rounds if len(r) > 0]
         self.method = method
 
     @classmethod

@@ -1,0 +1,110 @@
+"""Deterministic enumeration of connected node subsets.
+
+Both exact machines in this repo maximize or prune over node subsets:
+
+* :func:`repro.core.lower_bounds.lb2_exact_witness` maximizes the
+  Lemma 3.1 density bound ``ceil(|E(S)| / floor(Σ c_v / 2))`` over
+  subsets ``S``;
+* the branch-and-bound solver (:mod:`repro.exact.search`) precomputes
+  the same bound per subset to prune its color search.
+
+Restricting the enumeration to *connected* subsets loses nothing: if
+``S`` splits into components ``S₁, …, S_k`` with ``a_i`` internal edges
+and half-capacities ``h_i``, then ``floor(Σ c / 2) ≥ Σ h_i`` (the floor
+of a sum dominates the sum of floors) and the mediant inequality gives
+``ceil(Σ a_i / Σ h_i) ≤ max_i ceil(a_i / h_i)`` — some component is at
+least as dense as the union.  Connected enumeration is typically far
+smaller than ``2^n`` on sparse instances, and never larger.
+
+The enumeration is deterministic: subsets are produced in a fixed order
+that depends only on the (sorted) adjacency structure, never on set or
+dict iteration order, so witnesses and prune tables are byte-stable
+across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.problem import MigrationInstance
+    from repro.graphs.multigraph import Node
+
+_FREE, _IN_SUBSET, _EXCLUDED, _IN_FRONTIER = 0, 1, 2, 3
+
+
+def connected_subsets(
+    adjacency: Sequence[Sequence[int]], min_size: int = 2
+) -> Iterator[Tuple[int, ...]]:
+    """Yield every connected subset of ``{0, …, n-1}`` exactly once.
+
+    ``adjacency[i]`` lists the neighbours of node ``i`` (duplicates and
+    self-entries are ignored).  Each yielded tuple is sorted ascending;
+    subsets smaller than ``min_size`` are suppressed.
+
+    Enumeration scheme: for each root ``r`` (ascending), enumerate the
+    connected subsets whose minimum element is ``r`` by a binary
+    include/exclude decision tree over an ordered frontier.  Every
+    subset corresponds to exactly one decision leaf (its excluded set is
+    forced to be the full outer neighbourhood), so there are no
+    duplicates and the order is a pure function of ``adjacency``.
+    """
+    n = len(adjacency)
+    adj: List[List[int]] = [
+        sorted({u for u in row if u != i and 0 <= u < n})
+        for i, row in enumerate(adjacency)
+    ]
+    status = [_FREE] * n
+
+    def extend(
+        root: int, subset: List[int], frontier: List[int]
+    ) -> Iterator[Tuple[int, ...]]:
+        if not frontier:
+            if len(subset) >= min_size:
+                yield tuple(sorted(subset))
+            return
+        v = frontier[0]
+        rest = frontier[1:]
+        # Branch 1: include v; its unseen neighbours join the frontier.
+        status[v] = _IN_SUBSET
+        added = [u for u in adj[v] if u > root and status[u] == _FREE]
+        for u in added:
+            status[u] = _IN_FRONTIER
+        subset.append(v)
+        yield from extend(root, subset, rest + added)
+        subset.pop()
+        for u in added:
+            status[u] = _FREE
+        # Branch 2: exclude v for the rest of this root's subtree.
+        status[v] = _EXCLUDED
+        yield from extend(root, subset, rest)
+        status[v] = _IN_FRONTIER  # restore to the caller's view
+
+    for root in range(n):
+        status[root] = _IN_SUBSET
+        frontier = [u for u in adj[root] if u > root]
+        for u in frontier:
+            status[u] = _IN_FRONTIER
+        yield from extend(root, [root], frontier)
+        for u in frontier:
+            status[u] = _FREE
+        status[root] = _FREE
+
+
+def connected_node_subsets(
+    instance: "MigrationInstance", min_size: int = 2
+) -> Iterator[Tuple["Node", ...]]:
+    """:func:`connected_subsets` lifted to an instance's node labels.
+
+    Nodes are indexed in graph insertion order (the canonical order used
+    throughout the repo), so the enumeration order — and therefore any
+    first-strict-improvement witness chosen from it — is reproducible.
+    """
+    nodes = list(instance.graph.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    adjacency: List[List[int]] = [[] for _ in nodes]
+    for _eid, u, v in instance.graph.edges():
+        adjacency[index[u]].append(index[v])
+        adjacency[index[v]].append(index[u])
+    for combo in connected_subsets(adjacency, min_size=min_size):
+        yield tuple(nodes[i] for i in combo)

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.general import GeneralSolverStats
+from repro.core.objectives import Objective
 from repro.core.problem import MigrationInstance
 from repro.core.schedule import MigrationSchedule
 from repro.obs import names
@@ -130,6 +131,17 @@ class PlanResult:
     #: provenance, never serialized.
     instance: Optional[MigrationInstance] = None
     seed: int = 0
+    #: the objective the plan optimized (``None`` means makespan).
+    objective: Optional[Objective] = None
+    #: objective value of the schedule under a non-makespan objective.
+    objective_value: Optional[int] = None
+    #: whole-instance :class:`repro.exact.OptimalityCertificate` when
+    #: the plan was solved exactly (objective path, or a forced /
+    #: certified ``exact_bb`` solve); verified before being attached.
+    optimality: Optional[Any] = None
+    #: ``(component index, certificate)`` pairs for auto-path
+    #: components solved by ``exact_bb`` (``certify=True`` only).
+    component_optimality: List[Tuple[int, Any]] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -205,6 +217,7 @@ def plan(
     workers: Optional[int] = None,
     certify: bool = False,
     tracer: Optional[Tracer] = None,
+    objective: Optional[Objective] = None,
 ) -> PlanResult:
     """Plan a migration through the staged pipeline.
 
@@ -212,6 +225,13 @@ def plan(
         instance: transfer graph + per-disk constraints.
         method: ``"auto"`` for decomposed per-component selection, or
             any registered solver name for a monolithic forced solve.
+        objective: what to optimize.  ``None`` uses the instance's own
+            objective (default makespan).  A non-makespan objective is
+            solved monolithically by an exact solver that declared
+            support for it — round indices are wall-clock time under
+            these objectives, so the per-component decompose/merge and
+            the plan cache (both keyed on makespan semantics) are
+            bypassed, and ``seed`` has no effect on the output.
         seed: base randomness seed.  Component solves draw from seeds
             derived per component fingerprint, so unchanged components
             reproduce their schedules across replans.
@@ -264,12 +284,15 @@ def plan(
         parallel = False
     backend = resolve_backend(backend)
     tr = ensure_tracer(tracer)
+    obj = objective if objective is not None else instance.objective
 
     with tr.span(names.SPAN_PLAN, method=method, seed=seed) as root:
         with _stage(tr, result, "normalize"):
             normalized = normalize(instance)
 
-        if method != "auto":
+        if obj.kind != "makespan":
+            _plan_objective(instance, obj, method, result, tr)
+        elif method != "auto":
             _plan_forced(instance, method, seed, stats, backend, cache, result, tr)
         else:
             _plan_auto(instance, normalized.empty, seed, stats, backend, cache,
@@ -278,7 +301,13 @@ def plan(
         with _stage(tr, result, "certify"):
             result.schedule.validate(instance)
             if certify:
-                _certify(instance, result, cache)
+                if obj.kind == "makespan":
+                    _certify(instance, result, cache)
+                else:
+                    _certify_objective(instance, result)
+        if result.objective is None:
+            result.objective = obj
+            result.objective_value = obj.value(instance, result.schedule.rounds)
         root.set(
             rounds=result.schedule.num_rounds,
             components=len(result.components),
@@ -348,6 +377,76 @@ def _plan_forced(
             backend=effective_backend(spec, backend),
         )
     ]
+
+
+# ----------------------------------------------------------------------
+# objective (monolithic exact) path
+# ----------------------------------------------------------------------
+
+def _plan_objective(
+    instance: MigrationInstance,
+    obj: Objective,
+    method: str,
+    result: PlanResult,
+    tracer: Tracer,
+) -> None:
+    """Solve a round-indexed objective to proven optimality.
+
+    Round indices are wall-clock time under these objectives, so the
+    makespan machinery — per-component decompose/merge, the plan cache,
+    restarts — does not apply; the instance is solved monolithically by
+    a solver that declared support for the objective kind (today that
+    is ``exact_bb``, so the solve is seed-free and deterministic).
+    """
+    from repro.exact.search import solve_exact
+
+    with _stage(tracer, result, "select"):
+        if method == "auto":
+            spec = select_solver(instance, objective_kind=obj.kind)
+        else:
+            spec = get_solver(method)
+            if not spec.supports_objective(obj.kind):
+                raise ValueError(
+                    f"method {method!r} cannot optimize objective {obj.kind!r}; "
+                    f"it declares {spec.objectives}"
+                )
+
+    with _stage(tracer, result, "solve"):
+        with tracer.span(names.SPAN_SOLVE, method=spec.name, component=0):
+            watch = Stopwatch()
+            with watch:
+                res = solve_exact(instance, obj)
+        accumulate(result.solver_profile, spec.name, watch)
+
+    result.schedule = res.schedule
+    result.objective = obj
+    result.objective_value = res.value
+    result.optimality = res.certificate
+    result.components = [
+        ComponentPlan(
+            index=0,
+            num_disks=instance.num_disks,
+            num_items=instance.num_items,
+            method=res.schedule.method,
+            rounds=res.schedule.num_rounds,
+            seed=0,
+            cached=False,
+            fingerprint=None,
+        )
+    ]
+
+
+def _certify_objective(instance: MigrationInstance, result: PlanResult) -> None:
+    """Certify stage for the objective path: verify the optimality
+    certificate the solve attached (lazy import, like :func:`_certify`)."""
+    from repro.checks.certify import verify_optimality_certificate
+
+    assert result.objective is not None and result.optimality is not None
+    verify_optimality_certificate(
+        instance, result.objective, result.schedule, result.optimality
+    )
+    result.lower_bound = result.optimality.lower_bound
+    result.certified_optimal = True
 
 
 # ----------------------------------------------------------------------
@@ -545,3 +644,57 @@ def _certify(
     result.lower_bound = report.lower_bound
     result.certificate = composed
     result.certified_optimal = report.certified_optimal
+    _attach_optimality(instance, result, components)
+
+
+def _attach_optimality(
+    instance: MigrationInstance,
+    result: PlanResult,
+    components: List[Component],
+) -> None:
+    """Attach verified optimality certificates for ``exact_bb`` solves.
+
+    Re-solving is affordable by construction (``exact_bb`` caps at 16
+    items per component), and it turns the attachment into a tamper
+    check: a cached or merged schedule whose round count disagrees with
+    the re-proven optimum is rejected, not trusted.  A schedule whose
+    components are *all* proven optimal is itself optimal — components
+    are edge-disjoint, so the merged makespan is the max of the
+    per-component optima — which can certify optimality even when the
+    round count sits strictly above ``max(LB1, LB2)``.
+    """
+    from repro.checks.certify import CertificationError, verify_optimality_certificate
+    from repro.exact.search import EXACT_BB_METHOD, solve_exact
+
+    if result.requested_method == "auto":
+        by_index = {comp.index: comp for comp in components}
+        for cp in result.components:
+            if cp.method != EXACT_BB_METHOD:
+                continue
+            comp = by_index.get(cp.index)
+            if comp is None:
+                continue
+            res = solve_exact(comp.instance)
+            verify_optimality_certificate(
+                comp.instance, res.objective, res.schedule, res.certificate
+            )
+            if res.value != cp.rounds:
+                raise CertificationError(
+                    f"component {cp.index} schedules {cp.rounds} rounds but "
+                    f"the re-proven optimum is {res.value}"
+                )
+            result.component_optimality.append((cp.index, res.certificate))
+        if components and len(result.component_optimality) == len(components):
+            result.certified_optimal = True
+    elif result.components and result.components[0].method == EXACT_BB_METHOD:
+        res = solve_exact(instance)
+        verify_optimality_certificate(
+            instance, res.objective, res.schedule, res.certificate
+        )
+        if res.value != result.schedule.num_rounds:
+            raise CertificationError(
+                f"schedule has {result.schedule.num_rounds} rounds but the "
+                f"re-proven optimum is {res.value}"
+            )
+        result.optimality = res.certificate
+        result.certified_optimal = True

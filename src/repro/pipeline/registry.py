@@ -45,6 +45,11 @@ from repro.core.special_cases import (
     bipartite_optimal_schedule_compact,
     is_bipartite_instance,
 )
+from repro.exact.search import (
+    EXACT_SEARCH_EDGE_LIMIT,
+    EXACT_SEARCH_NODE_LIMIT,
+    exact_bb_schedule,
+)
 from repro.graphs.array_backend import CompactInstance
 
 #: ``solve(instance, seed, stats)`` — the uniform solver signature.
@@ -102,6 +107,13 @@ class SolverSpec:
     #: array-backend kernel, byte-identical to ``solve``; None means
     #: the solver runs on the object engine regardless of backend.
     solve_compact: Optional[SolveCompactFn] = None
+    #: objective kinds this solver can optimize (``Objective.kind``
+    #: tags).  Every legacy solver optimizes makespan only; the exact
+    #: branch-and-bound also handles the round-indexed objectives.
+    objectives: Tuple[str, ...] = ("makespan",)
+
+    def supports_objective(self, kind: str) -> bool:
+        return kind in self.objectives
 
 
 def effective_backend(spec: SolverSpec, backend: str) -> str:
@@ -128,6 +140,7 @@ def register_solver(
     auto: bool = False,
     randomized: bool = False,
     compact: Optional[SolveCompactFn] = None,
+    objectives: Tuple[str, ...] = ("makespan",),
 ) -> Callable[[SolveFn], SolveFn]:
     """Register a solver under ``name``; use as a decorator.
 
@@ -144,6 +157,8 @@ def register_solver(
         compact: optional array-backend kernel; must be byte-identical
             to the object solver (same rounds, same method label) so
             the plan cache and fingerprints can stay backend-agnostic.
+        objectives: ``Objective.kind`` tags the solver can optimize
+            (default: makespan only).
 
     Raises:
         ValueError: on duplicate registration.
@@ -162,6 +177,7 @@ def register_solver(
             randomized=randomized,
             order=len(_REGISTRY),
             solve_compact=compact,
+            objectives=objectives,
         )
         return fn
 
@@ -186,21 +202,34 @@ def get_solver(name: str) -> SolverSpec:
     return spec
 
 
-def select_solver(instance: MigrationInstance) -> SolverSpec:
+def select_solver(
+    instance: MigrationInstance, objective_kind: str = "makespan"
+) -> SolverSpec:
     """The *select* stage: cheapest applicable auto solver.
 
+    Args:
+        instance: the component to schedule.
+        objective_kind: ``Objective.kind`` the caller optimizes; only
+            solvers declaring support for it are considered.
+
     Raises:
-        ValueError: if no auto solver applies (cannot happen with the
-            built-in catalog — the general solver is always
-            applicable).
+        ValueError: if no auto solver applies (can only happen for a
+            non-makespan objective on an instance above the exact
+            solver's caps — the general solver always applies for
+            makespan).
     """
     candidates = [
         spec
         for spec in _REGISTRY.values()
-        if spec.auto and spec.applicable(instance)
+        if spec.auto
+        and spec.supports_objective(objective_kind)
+        and spec.applicable(instance)
     ]
     if not candidates:
-        raise ValueError(f"no applicable auto solver for {instance!r}")
+        raise ValueError(
+            f"no applicable auto solver for {instance!r} "
+            f"under objective {objective_kind!r}"
+        )
     return min(candidates, key=lambda spec: (spec.cost_hint, spec.order))
 
 
@@ -327,3 +356,26 @@ def _solve_exact(
     stats: Optional[GeneralSolverStats],
 ) -> MigrationSchedule:
     return exact_optimum(instance)
+
+
+def _exact_bb_applicable(instance: MigrationInstance) -> bool:
+    return (
+        instance.num_items <= EXACT_SEARCH_EDGE_LIMIT
+        and instance.num_disks <= EXACT_SEARCH_NODE_LIMIT
+    )
+
+
+@register_solver(
+    "exact_bb",
+    applicable=_exact_bb_applicable,
+    cost_hint=30,
+    optimal=True,
+    auto=True,
+    objectives=("makespan", "bounded_color", "group_completion"),
+)
+def _solve_exact_bb(
+    instance: MigrationInstance,
+    seed: int,
+    stats: Optional[GeneralSolverStats],
+) -> MigrationSchedule:
+    return exact_bb_schedule(instance, seed, stats)

@@ -11,6 +11,7 @@ from repro.checks.hashseed import (
     DeterminismError,
     EXECUTOR_DRIVER,
     FLOW_DRIVER,
+    GAP_DRIVER,
     PLAN_DRIVER,
     SIM_DRIVER,
     check_determinism,
@@ -57,6 +58,25 @@ class TestSimDeterminism:
         assert check.ok, check.detail
 
 
+class TestExactDeterminism:
+    def test_exact_schedule_identical_across_hash_seeds(self):
+        # The branch-and-bound's edge order, orbit maps, and certificate
+        # digests must be hash-seed independent.
+        check = compare_across_hash_seeds(
+            "plan/exact_bb", PLAN_DRIVER, ["5", "8", "2", "exact_bb"],
+            hash_seeds=(1, 31337),
+        )
+        assert check.ok, check.detail
+
+    def test_gap_metrics_identical_across_hash_seeds(self):
+        # The full quick sweep — every family exact-solved, every
+        # certificate verified — pinned at the metrics-byte level.
+        check = compare_across_hash_seeds(
+            "exact/gap-metrics", GAP_DRIVER, [], hash_seeds=(1, 31337)
+        )
+        assert check.ok, check.detail
+
+
 class TestFlowReportDeterminism:
     def test_flow_report_identical_across_hash_seeds(self):
         # The analyzer's call graph, effect fixpoint, and finding order
@@ -75,6 +95,7 @@ class TestHarness:
             include_executor=False,
             include_sim=False,
             include_flow=False,
+            include_gap=False,
         )
         assert report.ok
         assert "plan/tiny: ok" in report.render()

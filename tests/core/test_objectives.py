@@ -1,0 +1,148 @@
+"""Tests for the objectives layer (makespan, bounded color, groups)."""
+
+import pytest
+
+from repro.core.objectives import (
+    MAKESPAN,
+    OBJECTIVE_KINDS,
+    BoundedColorObjective,
+    GroupCompletionObjective,
+    MakespanObjective,
+    ObjectiveError,
+    ensure_objective,
+    load_objective,
+    objective_from_json,
+)
+from repro.core.problem import MigrationInstance
+
+
+def triangle() -> MigrationInstance:
+    return MigrationInstance.uniform(
+        [("a", "b"), ("b", "c"), ("c", "a")], capacity=1
+    )
+
+
+class TestMakespan:
+    def test_value_counts_nonempty_rounds(self):
+        inst = triangle()
+        assert MAKESPAN.value(inst, [[0], [], [1, 2]]) == 2
+
+    def test_validate_and_check_accept_anything(self):
+        inst = triangle()
+        MAKESPAN.validate(inst)
+        MAKESPAN.check(inst, [[0, 1, 2]])
+
+    def test_round_trip(self):
+        restored = objective_from_json(MAKESPAN.to_json())
+        assert restored == MAKESPAN
+        assert restored.digest() == MAKESPAN.digest()
+
+
+class TestBoundedColor:
+    def test_empty_allowed_set_rejected(self):
+        with pytest.raises(ObjectiveError, match="empty allowed-round set"):
+            BoundedColorObjective({0: ()})
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "2"])
+    def test_invalid_round_index_rejected(self, bad):
+        with pytest.raises(ObjectiveError):
+            BoundedColorObjective({0: (bad,)})
+
+    def test_validate_requires_full_coverage(self):
+        inst = triangle()
+        eids = sorted(inst.graph.edge_ids())
+        partial = BoundedColorObjective({eids[0]: (0,)})
+        with pytest.raises(ObjectiveError, match="no allowed-round set"):
+            partial.validate(inst)
+        extra = BoundedColorObjective(
+            {eid: (0, 1, 2) for eid in eids} | {999: (0,)}
+        )
+        with pytest.raises(ObjectiveError, match="unknown edge"):
+            extra.validate(inst)
+
+    def test_check_flags_out_of_window_placement(self):
+        inst = triangle()
+        eids = sorted(inst.graph.edge_ids())
+        objective = BoundedColorObjective({eid: (1,) for eid in eids})
+        with pytest.raises(ObjectiveError, match="allowed rounds"):
+            objective.check(inst, [[eids[0]]])
+
+    def test_value_counts_timeline_length_with_empty_rounds(self):
+        inst = triangle()
+        eids = sorted(inst.graph.edge_ids())
+        objective = BoundedColorObjective({eid: (0, 3) for eid in eids})
+        # A trailing occupied round at index 3 means the timeline is 4,
+        # even though only two rounds are non-empty.
+        assert objective.value(inst, [[eids[0]], [], [], [eids[1], eids[2]]]) == 4
+
+    def test_json_round_trip(self):
+        objective = BoundedColorObjective({0: (2, 0), 1: (1,), 2: (0, 1, 5)})
+        restored = objective_from_json(objective.to_json())
+        assert restored == objective
+        assert restored.allowed == {0: (0, 2), 1: (1,), 2: (0, 1, 5)}
+
+
+class TestGroupCompletion:
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ObjectiveError, match="no weight"):
+            GroupCompletionObjective({0: "g"}, {})
+
+    def test_unreferenced_weight_rejected(self):
+        with pytest.raises(ObjectiveError, match="unreferenced"):
+            GroupCompletionObjective({0: "g"}, {"g": 1, "ghost": 2})
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, True])
+    def test_invalid_weight_rejected(self, bad):
+        with pytest.raises(ObjectiveError):
+            GroupCompletionObjective({0: "g"}, {"g": bad})
+
+    def test_validate_requires_full_coverage(self):
+        inst = triangle()
+        eids = sorted(inst.graph.edge_ids())
+        partial = GroupCompletionObjective({eids[0]: "g"}, {"g": 1})
+        with pytest.raises(ObjectiveError, match="belongs to no group"):
+            partial.validate(inst)
+
+    def test_value_is_weighted_completion_sum(self):
+        inst = triangle()
+        eids = sorted(inst.graph.edge_ids())
+        objective = GroupCompletionObjective(
+            {eids[0]: "a", eids[1]: "a", eids[2]: "b"}, {"a": 2, "b": 3}
+        )
+        rounds = [[eids[0]], [eids[2]], [eids[1]]]
+        # a completes in round 3, b in round 2: 2*3 + 3*2 = 12.
+        assert objective.value(inst, rounds) == 12
+        assert objective.completions(inst, rounds) == {"a": 3, "b": 2}
+
+    def test_json_round_trip(self):
+        objective = GroupCompletionObjective(
+            {0: "alpha", 1: "beta", 2: "alpha"}, {"alpha": 2, "beta": 7}
+        )
+        restored = objective_from_json(objective.to_json())
+        assert restored == objective
+        assert restored.weights == {"alpha": 2, "beta": 7}
+
+
+class TestModuleSurface:
+    def test_kinds_are_registered(self):
+        assert OBJECTIVE_KINDS == ("makespan", "bounded_color", "group_completion")
+
+    def test_ensure_objective_defaults_to_makespan(self):
+        assert ensure_objective(None) is MAKESPAN
+        custom = MakespanObjective()
+        assert ensure_objective(custom) is custom
+
+    def test_load_objective(self, tmp_path):
+        objective = BoundedColorObjective({0: (0, 1)})
+        path = tmp_path / "objective.json"
+        path.write_text(objective.to_json())
+        assert load_objective(str(path)) == objective
+
+    def test_unknown_kind_rejected(self):
+        payload = '{"format": "repro-objective", "version": 1, "kind": "nope"}'
+        with pytest.raises(ObjectiveError, match="unknown objective kind"):
+            objective_from_json(payload)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ObjectiveError, match="not an objective payload"):
+            objective_from_json('{"format": "other"}')

@@ -28,7 +28,7 @@ class TestDispatch:
     def test_every_method_returns_valid_schedule(self, method):
         if method == "even_optimal":
             inst = even_instance(5, 10, seed=1)
-        elif method == "exact":
+        elif method in ("exact", "exact_bb"):
             inst = random_instance(4, 8, seed=1)
         elif method == "bipartite_optimal":
             from repro.workloads.generators import bipartite_instance

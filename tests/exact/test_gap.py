@@ -1,0 +1,94 @@
+"""Tests for the approximation-gap harness and BENCH_EXACT plumbing."""
+
+import json
+
+from repro.exact.gap import (
+    BENCH_SCHEMA,
+    FAMILIES,
+    HEURISTIC_METHODS,
+    QUICK_SEEDS,
+    append_bench_entry,
+    canonical_json,
+    collect_gap_metrics,
+    render_gap_table,
+    run_gap,
+    sweep_instance,
+)
+from repro.exact.search import (
+    EXACT_SEARCH_EDGE_LIMIT,
+    EXACT_SEARCH_NODE_LIMIT,
+    instance_digest,
+)
+
+
+class TestCorpus:
+    def test_has_at_least_six_families(self):
+        assert len(FAMILIES) >= 6
+        assert len({f.name for f in FAMILIES}) == len(FAMILIES)
+
+    def test_every_family_inside_exact_caps(self):
+        for family in FAMILIES:
+            for seed in QUICK_SEEDS:
+                inst = family.factory(seed)
+                assert inst.num_items <= EXACT_SEARCH_EDGE_LIMIT, family.name
+                assert inst.num_disks <= EXACT_SEARCH_NODE_LIMIT, family.name
+
+    def test_factories_are_deterministic(self):
+        for family in FAMILIES:
+            a = family.factory(0)
+            b = family.factory(0)
+            assert instance_digest(a) == instance_digest(b), family.name
+
+
+class TestSweep:
+    def test_sweep_instance_shape(self):
+        case = sweep_instance(FAMILIES[0].factory(0))
+        assert case["lower_bound"] <= case["optimal"]
+        assert case["proof"] in ("matching-lb", "exhausted-frontier")
+        for method in HEURISTIC_METHODS:
+            row = case["heuristics"][method]
+            assert row["rounds"] >= case["optimal"]
+            assert row["ratio"] >= 1.0
+
+    def test_quick_metrics_deterministic_bytes(self):
+        first = canonical_json(collect_gap_metrics(quick=True))
+        second = canonical_json(collect_gap_metrics(quick=True))
+        assert first == second
+
+    def test_class2_family_exercises_exhausted_frontier(self):
+        metrics = collect_gap_metrics(quick=True)
+        proofs = {
+            case["proof"]
+            for family in metrics["families"].values()
+            for case in family["cases"]
+        }
+        assert "exhausted-frontier" in proofs
+
+    def test_render_table_lists_every_family(self):
+        metrics = collect_gap_metrics(quick=True)
+        table = render_gap_table(metrics)
+        for family in FAMILIES:
+            assert family.name in table
+
+
+class TestRunGap:
+    def test_report_and_bench(self, tmp_path):
+        report = tmp_path / "gap.json"
+        bench = tmp_path / "BENCH_EXACT.json"
+        metrics, code = run_gap(
+            quick=True, report_path=str(report), bench_path=str(bench)
+        )
+        assert code == 0
+        assert json.loads(report.read_text()) == metrics
+        data = json.loads(bench.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert len(data["entries"]) == 1
+        assert data["entries"][0]["metrics"] == metrics
+
+    def test_bench_refresh_is_idempotent(self, tmp_path):
+        bench = tmp_path / "BENCH_EXACT.json"
+        metrics = collect_gap_metrics(quick=True)
+        append_bench_entry(metrics, bench)
+        first = bench.read_text()
+        append_bench_entry(metrics, bench)
+        assert bench.read_text() == first

@@ -1,0 +1,88 @@
+"""Tests for the shared connected-subset enumeration."""
+
+from itertools import combinations
+
+from repro.exact.subsets import connected_node_subsets, connected_subsets
+from tests.conftest import random_instance
+
+
+def brute_connected_subsets(adjacency, min_size=2):
+    """Reference enumeration: filter all combinations by connectivity."""
+    n = len(adjacency)
+    adj = [set(u for u in row if u != i) for i, row in enumerate(adjacency)]
+    out = set()
+    for size in range(min_size, n + 1):
+        for combo in combinations(range(n), size):
+            members = set(combo)
+            seen = {combo[0]}
+            stack = [combo[0]]
+            while stack:
+                v = stack.pop()
+                for u in adj[v]:
+                    if u in members and u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            if seen == members:
+                out.add(combo)
+    return out
+
+
+class TestEnumeration:
+    def test_path_graph(self):
+        # P4: connected subsets are exactly the contiguous runs.
+        adjacency = [[1], [0, 2], [1, 3], [2]]
+        got = list(connected_subsets(adjacency))
+        assert sorted(got) == [
+            (0, 1), (0, 1, 2), (0, 1, 2, 3), (1, 2), (1, 2, 3), (2, 3),
+        ]
+
+    def test_no_duplicates_and_matches_brute_force(self):
+        # A denser shape: C5 plus a chord and a pendant.
+        adjacency = [[1, 4, 2], [0, 2], [1, 3, 0], [2, 4], [3, 0, 5], [4]]
+        got = list(connected_subsets(adjacency))
+        assert len(got) == len(set(got))
+        assert set(got) == brute_connected_subsets(adjacency)
+
+    def test_min_size_one_includes_singletons(self):
+        adjacency = [[1], [0], []]
+        got = set(connected_subsets(adjacency, min_size=1))
+        assert (0,) in got and (1,) in got and (2,) in got
+
+    def test_disconnected_graph(self):
+        # Two components; no subset may span both.
+        adjacency = [[1], [0], [3], [2]]
+        assert set(connected_subsets(adjacency)) == {(0, 1), (2, 3)}
+
+    def test_duplicate_and_self_entries_ignored(self):
+        messy = [[1, 1, 0], [0, 0, 1]]
+        clean = [[1], [0]]
+        assert list(connected_subsets(messy)) == list(connected_subsets(clean))
+
+    def test_order_is_deterministic(self):
+        adjacency = [[1, 2, 3], [0, 2], [0, 1, 3], [0, 2]]
+        assert list(connected_subsets(adjacency)) == list(
+            connected_subsets(adjacency)
+        )
+
+
+class TestNodeLifting:
+    def test_labels_follow_insertion_order(self):
+        inst = random_instance(6, 10, seed=3)
+        nodes = list(inst.graph.nodes)
+        for subset in connected_node_subsets(inst):
+            assert len(subset) >= 2
+            # Subsets come back in canonical node order.
+            indices = [nodes.index(v) for v in subset]
+            assert indices == sorted(indices)
+
+    def test_counts_match_index_enumeration(self):
+        inst = random_instance(6, 10, seed=3)
+        nodes = list(inst.graph.nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        adjacency = [[] for _ in nodes]
+        for _eid, u, v in inst.graph.edges():
+            adjacency[index[u]].append(index[v])
+            adjacency[index[v]].append(index[u])
+        lifted = list(connected_node_subsets(inst))
+        raw = list(connected_subsets(adjacency))
+        assert len(lifted) == len(raw)

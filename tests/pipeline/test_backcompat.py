@@ -25,8 +25,8 @@ def instance_for(method: str) -> MigrationInstance:
              ("old1", "new1"), ("old0", "new0")],
             {"old0": 1, "old1": 2, "new0": 3, "new1": 1},
         )
-    if method == "exact":
-        return random_instance(5, 8, seed=2)  # brute force needs few items
+    if method in ("exact", "exact_bb"):
+        return random_instance(5, 8, seed=2)  # exact search needs few items
     if method == "even_rounding":
         return random_instance(9, 30, capacity_choices=(2, 3, 4), seed=3)
     return random_instance(9, 30, seed=3)

@@ -27,6 +27,7 @@ class TestCatalog:
             "greedy",
             "even_rounding",
             "exact",
+            "exact_bb",
         )
         assert METHODS == ("auto",) + solver_names()
 
@@ -59,11 +60,17 @@ class TestSelection:
         )
         assert select_solver(inst).name == "bipartite_optimal"
 
-    def test_mixed_instance_selects_general(self):
+    def test_tiny_mixed_instance_selects_exact(self):
+        # Small enough for the branch-and-bound caps, so auto now takes
+        # the provably-optimal path instead of the general heuristic.
         inst = MigrationInstance.from_moves(
             [("a", "b"), ("b", "c"), ("c", "a")],
             {"a": 1, "b": 2, "c": 3},
         )
+        assert select_solver(inst).name == "exact_bb"
+
+    def test_mixed_instance_selects_general(self):
+        inst = random_instance(9, 30, seed=3)
         assert select_solver(inst).name == "general"
 
     def test_all_even_beats_bipartite_when_both_apply(self):
